@@ -1,0 +1,103 @@
+// Design-choice ablations (DESIGN.md §4): the knobs the paper fixes by
+// design, swept to show WHY those values were chosen.
+//
+//   A. Bounded chaining ratio: link buckets = bins/2 ... bins/32. Fewer
+//      link buckets bound the average accesses per Get closer to one but
+//      lower the occupancy reachable before a resize (§3.2.1 vs §5.1.5).
+//   B. Resize chunk size: 256 ... 64K bins per transfer claim. Tiny chunks
+//      maximize helper parallelism but pay FAA/synchronization per chunk;
+//      huge chunks serialize the tail (§3.2.5 picks 16K).
+//   C. Growth factor at small size: x2 vs the paper's x8 — total population
+//      time including repeated migrations.
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  args.keys = std::min<std::uint64_t>(args.keys, 1u << 20);
+  const int threads = args.threads_list.back();
+  const double secs = args.seconds();
+  print_header("ablation", "design-choice ablations (chaining, chunks, growth)");
+
+  // --- A: link-bucket ratio: occupancy at first resize + Get throughput.
+  for (const double ratio : {0.5, 0.25, 0.125, 0.0625, 0.03125}) {
+    using WyMap = BasicMap<MapTraits<Mode::kInlined, WyHash>>;
+    {
+      WyMap m(Options{.initial_bins = 1 << 14, .link_ratio = ratio});
+      const std::size_t total =
+          (1u << 14) * 3 +
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>((1u << 14) * ratio)) * 4;
+      std::uint64_t k = 0;
+      while (m.resizes_completed() == 0) m.insert(k, k), ++k;
+      print_row("ablation", "chaining/occupancy-at-resize", ratio * 100,
+                100.0 * static_cast<double>(k - 1) /
+                    static_cast<double>(total),
+                "%");
+    }
+    {
+      WyMap m(Options{.initial_bins = args.keys * 2 / 3,
+                      .link_ratio = ratio, .max_threads = 64});
+      workload::populate(m, args.keys);
+      const auto st = m.stats();
+      print_row("ablation", "chaining/avg-chain-buckets", ratio * 100,
+                1.0 + 4.0 * static_cast<double>(st.links_used) /
+                          static_cast<double>(st.bins),
+                "buckets/bin(avg est)");
+      print_row("ablation", "chaining/get-tput", ratio * 100,
+                get_tput(m, args.keys, threads, secs, kDefaultBatch),
+                "Mreq/s");
+    }
+  }
+
+  // --- B: resize chunk size: wall time of one forced full migration.
+  for (const std::size_t chunk : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    InlinedMap m(Options{.initial_bins = args.keys * 2 / 3,
+                         .link_ratio = 0.125, .max_threads = 64,
+                         .resize_chunk_bins = chunk});
+    workload::populate(m, args.keys);
+    const double migrate_secs = workload::run_once(threads, [&m](int tid) {
+      return [&m, tid]() {
+        if (tid == 0) m.grow_now();
+        // Other threads hammer inserts so they become helpers.
+        else {
+          for (std::uint64_t i = 0; i < 100000 && m.resizes_completed() == 0;
+               ++i) {
+            const std::uint64_t k =
+                (1ULL << 40) + static_cast<std::uint64_t>(tid) * 1000000 + i;
+            m.insert(k, k);
+            m.erase(k);
+          }
+        }
+      };
+    });
+    print_row("ablation", "resize-chunk/migration-time",
+              static_cast<double>(chunk), migrate_secs * 1000, "ms");
+  }
+
+  // --- C: growth factor — the paper's 8/4/2 policy vs flat x2 / x4 / x8.
+  // A small factor migrates logarithmically more often during population.
+  for (const std::size_t factor : {0u, 2u, 4u, 8u}) {
+    InlinedMap m(Options{.initial_bins = 1024, .link_ratio = 0.125,
+                         .max_threads = 64, .growth_factor = factor});
+    Stopwatch sw;
+    for (std::uint64_t k = 0; k < args.keys; ++k) m.insert(k, k);
+    const double mps = static_cast<double>(args.keys) / sw.elapsed_s() / 1e6;
+    print_row("ablation",
+              factor == 0 ? "growth/paper-policy-842"
+                          : "growth/flat-x" + std::to_string(factor),
+              static_cast<double>(factor), mps, "Minserts/s");
+    print_row("ablation",
+              factor == 0 ? "growth/paper-policy-842/migrations"
+                          : "growth/flat-x" + std::to_string(factor) +
+                                "/migrations",
+              static_cast<double>(factor),
+              static_cast<double>(m.resizes_completed()), "count");
+  }
+
+  std::puts("# ablation notes: chaining ratio trades occupancy for accesses;"
+            " 16K chunks sit on the flat part of the migration curve.");
+  return 0;
+}

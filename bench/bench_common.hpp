@@ -1,0 +1,95 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every bench prints paper-style rows:
+//     <figure>, <series>, <x>, <value>, <unit>
+// plus a human-readable header, and accepts a common set of flags:
+//     --keys N           prepopulated keys        (default: env DLHT_BENCH_KEYS or 1M)
+//     --threads-list a,b threads to sweep         (default: 1,2,4 capped at 4x hw)
+//     --ms M             milliseconds per point   (default: 300)
+//     --scale S          multiply default sizes   (default: 1.0)
+// The defaults are sized for a small VM; on a big box, raise --keys and
+// --ms toward the paper's configuration (100M keys, multi-second points).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "workload/driver.hpp"
+
+namespace dlht::bench {
+
+struct Args {
+  std::uint64_t keys = 1u << 20;
+  std::vector<int> threads_list;
+  double ms = 300;
+  double scale = 1.0;
+
+  double seconds() const { return ms / 1000.0; }
+};
+
+inline std::vector<int> default_threads() {
+  const int hw = static_cast<int>(hardware_threads());
+  std::vector<int> ts;
+  for (int t = 1; t <= 4 * hw && t <= 8; t *= 2) ts.push_back(t);
+  return ts;
+}
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  if (const char* env = std::getenv("DLHT_BENCH_KEYS")) {
+    a.keys = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("DLHT_BENCH_MS")) {
+    a.ms = std::strtod(env, nullptr);
+  }
+  a.threads_list = default_threads();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--keys") {
+      a.keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--ms") {
+      a.ms = std::strtod(next(), nullptr);
+    } else if (arg == "--scale") {
+      a.scale = std::strtod(next(), nullptr);
+    } else if (arg == "--threads-list") {
+      a.threads_list.clear();
+      const char* s = next();
+      while (*s != '\0') {
+        a.threads_list.push_back(std::atoi(s));
+        const char* comma = std::strchr(s, ',');
+        if (comma == nullptr) break;
+        s = comma + 1;
+      }
+    }
+  }
+  return a;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf("# machine: %u hardware threads\n", hardware_threads());
+  std::printf("%-18s %-26s %12s %14s  %s\n", "figure", "series", "x", "value",
+              "unit");
+}
+
+inline void print_row(const char* figure, const std::string& series, double x,
+                      double value, const char* unit) {
+  std::printf("%-18s %-26s %12g %14.3f  %s\n", figure, series.c_str(), x,
+              value, unit);
+  std::fflush(stdout);
+}
+
+/// Shape assertion: prints PASS/WARN so bench output doubles as a smoke
+/// check that the paper's qualitative claim holds on this machine.
+inline void check_shape(const char* claim, bool holds) {
+  std::printf("# shape %-4s: %s\n", holds ? "PASS" : "WARN", claim);
+}
+
+}  // namespace dlht::bench

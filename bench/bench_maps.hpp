@@ -1,0 +1,115 @@
+// Map construction + generic measurement helpers shared by the comparison
+// benches (Figs. 1, 3, 4, 5, 6, 7).
+//
+// Naming follows Table 3: DLHT (batched), DLHT-NoBatch, CLHT, GrowT, Folly,
+// DRAMHiT, MICA, Cuckoo, TBB, Leapfrog. Baselines are sized so the
+// prepopulated working set fits their design's comfort zone (open
+// addressing gets 4x capacity; growt needs headroom over its 30 % trigger).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "dlht/dlht.hpp"
+#include "workload/driver.hpp"
+#include "workload/mixes.hpp"
+
+namespace dlht::bench {
+
+inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
+  // Paper default geometry: bins ~ 2/3 of keys (67M bins for 100M keys),
+  // link buckets bins/8, resizing available.
+  Options o;
+  o.initial_bins = static_cast<std::size_t>(keys * 2 / 3 + 64);
+  o.link_ratio = 0.125;
+  o.max_threads = max_threads;
+  return o;
+}
+
+template <class WorkerFactory>
+double run_tput(int threads, double seconds, WorkerFactory&& wf) {
+  const auto r = workload::run_for({.threads = threads, .seconds = seconds},
+                                   std::forward<WorkerFactory>(wf));
+  return r.mreqs_per_sec;
+}
+
+/// Measure the Get workload for one map. batch > 1 engages each design's
+/// own prefetch-batching mechanism where one exists.
+template <class M>
+double get_tput(M& m, std::uint64_t keys, int threads, double seconds,
+                std::size_t batch) {
+  if (batch > 1) {
+    if constexpr (workload::DlhtLikeMap<M>) {
+      return run_tput(threads, seconds,
+                      workload::make_get_batch_worker(m, keys, batch, 7));
+    } else if constexpr (requires { M::Op::kFind; }) {
+      // DRAMHiT-style reordering batch.
+      using Rq = typename M::Request;
+      using Rp = typename M::Reply;
+      return run_tput(threads, seconds, [&m, keys, batch](int tid) {
+        return [&m, keys, batch,
+                gen = UniformGenerator(keys, splitmix64(7 + tid)),
+                reqs = std::vector<Rq>(batch),
+                reps = std::vector<Rp>(batch)]() mutable {
+          for (std::size_t i = 0; i < batch; ++i) {
+            reqs[i] = Rq{M::Op::kFind, gen.next() + 1, 0};
+          }
+          m.execute_batch(reqs.data(), reps.data(), batch);
+          return batch;
+        };
+      });
+    } else if constexpr (requires(M& x, const std::uint64_t* k,
+                                  baselines::Lookup* o) {
+                           x.get_batch(k, o, std::size_t{1});
+                         }) {
+      // MICA-style two-stage prefetch batch.
+      return run_tput(threads, seconds, [&m, keys, batch](int tid) {
+        return [&m, keys, batch,
+                gen = UniformGenerator(keys, splitmix64(7 + tid)),
+                ks = std::vector<std::uint64_t>(batch),
+                out = std::vector<baselines::Lookup>(batch)]() mutable {
+          for (std::size_t i = 0; i < batch; ++i) ks[i] = gen.next() + 1;
+          m.get_batch(ks.data(), out.data(), batch);
+          return batch;
+        };
+      });
+    }
+  }
+  return run_tput(threads, seconds, workload::make_get_worker(m, keys, 7));
+}
+
+/// Measure the InsDel workload for one map.
+template <class M>
+double insdel_tput(M& m, std::uint64_t prepopulated, int threads,
+                   double seconds, std::size_t batch) {
+  if constexpr (workload::DlhtLikeMap<M>) {
+    if (batch > 1) {
+      return run_tput(
+          threads, seconds,
+          workload::make_insdel_batch_worker(m, prepopulated, threads, batch));
+    }
+  }
+  return run_tput(threads, seconds,
+                  workload::make_insdel_worker(m, prepopulated, threads));
+}
+
+/// Measure the PutHeavy workload (50 % Get / 50 % Put).
+template <class M>
+double putheavy_tput(M& m, std::uint64_t keys, int threads, double seconds,
+                     std::size_t batch) {
+  if constexpr (workload::DlhtLikeMap<M>) {
+    if (batch > 1) {
+      return run_tput(threads, seconds,
+                      workload::make_putheavy_batch_worker(m, keys, batch, 9));
+    }
+  }
+  return run_tput(threads, seconds,
+                  workload::make_putheavy_worker(m, keys, 9));
+}
+
+inline constexpr std::size_t kDefaultBatch = 24;
+
+}  // namespace dlht::bench

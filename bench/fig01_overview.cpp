@@ -1,0 +1,98 @@
+// Figure 1: throughput of state-of-the-art hashtables and DLHT on a
+// memory-resident uniform workload — Gets and (where meaningful) Deletes —
+// at the maximum thread count.
+//
+// Paper shape: DLHT tops Gets (1.66 B/s on their box); DRAMHiT is the only
+// baseline in the same league; Cuckoo/TBB/Leapfrog trail far behind; on
+// Deletes (InsDel) the open-addressing designs collapse.
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const std::uint64_t keys = args.keys;
+  const int threads = args.threads_list.back();
+  const double secs = args.seconds();
+  print_header("fig01", "overview: Gets + InsDel, all designs, max threads");
+
+  double dlht_get = 0, dramhit_get = 0, growt_insdel = 0, dlht_insdel = 0;
+
+  {
+    InlinedMap m(dlht_options(keys));
+    workload::populate(m, keys);
+    dlht_get = get_tput(m, keys, threads, secs, kDefaultBatch);
+    print_row("fig01", "DLHT/get", threads, dlht_get, "Mreq/s");
+    print_row("fig01", "DLHT-NoBatch/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    InlinedMap m(dlht_options(keys));
+    dlht_insdel = insdel_tput(m, 0, threads, secs, kDefaultBatch);
+    print_row("fig01", "DLHT/insdel", threads, dlht_insdel, "Mreq/s");
+  }
+  {
+    baselines::ClhtLike<> m(keys);  // ~1/3 occupancy headroom (3 slots/bin)
+    workload::populate(m, keys);
+    print_row("fig01", "CLHT/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::GrowtLike<> m(keys * 8);
+    workload::populate(m, keys);
+    print_row("fig01", "GrowT/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::GrowtLike<> m(keys * 8);
+    growt_insdel = insdel_tput(m, 0, threads, secs, 1);
+    print_row("fig01", "GrowT/insdel", threads, growt_insdel, "Mreq/s");
+  }
+  {
+    baselines::FollyLike<> m(keys * 4);
+    workload::populate(m, keys);
+    print_row("fig01", "Folly/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::DramhitLike<> m(keys * 4);
+    workload::populate(m, keys);
+    dramhit_get = get_tput(m, keys, threads, secs, kDefaultBatch);
+    print_row("fig01", "DRAMHiT/get", threads, dramhit_get, "Mreq/s");
+  }
+  {
+    baselines::MicaLike<> m(keys / 4 + 16);
+    workload::populate(m, keys);
+    print_row("fig01", "MICA/get", threads,
+              get_tput(m, keys, threads, secs, kDefaultBatch), "Mreq/s");
+  }
+  {
+    baselines::MicaLike<> m(keys / 4 + 16);
+    print_row("fig01", "MICA/insdel", threads,
+              insdel_tput(m, 0, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::CuckooLike<> m(keys * 2);
+    workload::populate(m, keys);
+    print_row("fig01", "Cuckoo/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::TbbLike<> m(keys);
+    workload::populate(m, keys);
+    print_row("fig01", "TBB/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+  {
+    baselines::LeapfrogLike<> m(keys * 4);
+    workload::populate(m, keys);
+    print_row("fig01", "Leapfrog/get", threads,
+              get_tput(m, keys, threads, secs, 1), "Mreq/s");
+  }
+
+  check_shape("DLHT Gets beat DRAMHiT Gets", dlht_get > dramhit_get);
+  check_shape("DLHT InsDel >> GrowT InsDel (tombstone collapse)",
+              dlht_insdel > 2.0 * growt_insdel);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 3: Get throughput as threads increase, all designs.
+//
+// Paper shape: DLHT (batched) on top and scaling; DRAMHiT ~1.7x below;
+// GrowT/Folly/CLHT/DLHT-NoBatch clustered >2.2-3.5x below; MICA below those
+// (two accesses per Get); Cuckoo/TBB/Leapfrog at the bottom.
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const std::uint64_t keys = args.keys;
+  const double secs = args.seconds();
+  print_header("fig03", "Get throughput vs threads");
+
+  double dlht_peak = 0, nobatch_peak = 0, mica_peak = 0;
+
+  {
+    InlinedMap m(dlht_options(keys));
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      const double v = get_tput(m, keys, t, secs, kDefaultBatch);
+      dlht_peak = std::max(dlht_peak, v);
+      print_row("fig03", "DLHT", t, v, "Mreq/s");
+    }
+    for (const int t : args.threads_list) {
+      const double v = get_tput(m, keys, t, secs, 1);
+      nobatch_peak = std::max(nobatch_peak, v);
+      print_row("fig03", "DLHT-NoBatch", t, v, "Mreq/s");
+    }
+  }
+  {
+    baselines::ClhtLike<> m(keys);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "CLHT", t, get_tput(m, keys, t, secs, 1), "Mreq/s");
+    }
+  }
+  {
+    baselines::GrowtLike<> m(keys * 8);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "GrowT", t, get_tput(m, keys, t, secs, 1), "Mreq/s");
+    }
+  }
+  {
+    baselines::FollyLike<> m(keys * 4);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "Folly", t, get_tput(m, keys, t, secs, 1), "Mreq/s");
+    }
+  }
+  {
+    baselines::DramhitLike<> m(keys * 4);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "DRAMHiT", t,
+                get_tput(m, keys, t, secs, kDefaultBatch), "Mreq/s");
+    }
+  }
+  {
+    baselines::MicaLike<> m(keys / 4 + 16);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      const double v = get_tput(m, keys, t, secs, kDefaultBatch);
+      mica_peak = std::max(mica_peak, v);
+      print_row("fig03", "MICA", t, v, "Mreq/s");
+    }
+  }
+  {
+    baselines::CuckooLike<> m(keys * 2);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "Cuckoo", t, get_tput(m, keys, t, secs, 1), "Mreq/s");
+    }
+  }
+  {
+    baselines::TbbLike<> m(keys);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "TBB", t, get_tput(m, keys, t, secs, 1), "Mreq/s");
+    }
+  }
+  {
+    baselines::LeapfrogLike<> m(keys * 4);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "Leapfrog", t, get_tput(m, keys, t, secs, 1),
+                "Mreq/s");
+    }
+  }
+
+  check_shape("batched DLHT beats DLHT-NoBatch (prefetch pays)",
+              dlht_peak > nobatch_peak);
+  check_shape("DLHT beats MICA (inlining: 1 access vs 2)",
+              dlht_peak > mica_peak);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 9: varying the value size (8 B ... 1.5 KB), Allocator mode.
+//
+// Workloads: Get (returns the pointer only — barely affected), Get-Access
+// (reads the whole value through the pointer — drops fast with size),
+// InsDel (pays a growing allocation+copy per insert — declines gently).
+#include <cstring>
+
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  args.keys = std::min<std::uint64_t>(args.keys, 1u << 19);  // blobs are big
+  const int threads = args.threads_list.back();
+  const double secs = args.seconds();
+  print_header("fig09", "throughput vs value size (Allocator mode)");
+
+  double get_first = 0, get_last = 0, acc_first = 0, acc_last = 0;
+
+  for (const std::size_t vsize : {8u, 16u, 64u, 256u, 1024u, 1536u}) {
+    Options opts = dlht_options(args.keys);
+    opts.fixed_value_size = vsize;
+    AllocatorMap<> m(opts);
+    std::vector<char> blob(vsize, 'v');
+    for (std::uint64_t k = 0; k < args.keys; ++k) {
+      m.insert(k, blob.data(), vsize);
+    }
+
+    // Get: pointer only.
+    const double g = run_tput(threads, secs, [&m, &args](int tid) {
+      return [&m, gen = UniformGenerator(args.keys, splitmix64(tid + 1)),
+              n = args.keys]() mutable {
+        (void)n;
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 64; ++i) {
+          hits += m.get_ptr(gen.next()).status == Status::kOk;
+        }
+        (void)hits;
+        return std::uint64_t{64};
+      };
+    });
+    print_row("fig09", "Get", static_cast<double>(vsize), g, "Mreq/s");
+    if (vsize == 8) get_first = g;
+    if (vsize == 1536) get_last = g;
+
+    // Get-Access: read the whole value.
+    const double a = run_tput(threads, secs, [&m, &args, vsize](int tid) {
+      return [&m, gen = UniformGenerator(args.keys, splitmix64(tid + 9)),
+              vsize]() mutable {
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 64; ++i) {
+          const auto r = m.get_ptr(gen.next());
+          if (r.status == Status::kOk) {
+            const char* p = static_cast<const char*>(r.value);
+            for (std::size_t off = 0; off < vsize; off += 64) sum += p[off];
+          }
+        }
+        (void)sum;
+        return std::uint64_t{64};
+      };
+    });
+    print_row("fig09", "Get-Access", static_cast<double>(vsize), a, "Mreq/s");
+    if (vsize == 8) acc_first = a;
+    if (vsize == 1536) acc_last = a;
+
+    // InsDel on fresh keys: allocation per insert grows with vsize.
+    const double d = run_tput(threads, secs, [&m, &args, &blob, vsize,
+                                              threads](int tid) {
+      return [&m, gen = FreshKeyGenerator(args.keys, (unsigned)tid,
+                                          (unsigned)threads),
+              &blob, vsize]() mutable {
+        for (int i = 0; i < 32; ++i) {
+          const std::uint64_t k = gen.next();
+          m.insert(k, blob.data(), vsize);
+          m.erase(k);
+        }
+        return std::uint64_t{64};
+      };
+    });
+    print_row("fig09", "InsDel", static_cast<double>(vsize), d, "Mreq/s");
+  }
+
+  check_shape("Get nearly flat across value sizes (pointer API)",
+              get_last > get_first * 0.5);
+  check_shape("Get-Access drops much faster than Get",
+              acc_last / acc_first < get_last / get_first);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 10: varying the key size (8 ... 256 B).
+//
+// Paper shape: steep drop past 8 bytes — the key no longer fits the slot,
+// so every Get dereferences the blob to compare the full key, and every
+// Insert allocates and writes the key bytes too.
+#include <string>
+
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+using VarMap = BasicMap<MapTraits<Mode::kAllocator, ModuloHash,
+                                  MallocAllocator, true, false, false,
+                                  /*VariableSize=*/true>>;
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  args.keys = std::min<std::uint64_t>(args.keys, 1u << 18);
+  const int threads = args.threads_list.back();
+  const double secs = args.seconds();
+  print_header("fig10", "throughput vs key size (Allocator mode)");
+
+  double get8 = 0, get16 = 0;
+
+  for (const std::size_t ksize : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    VarMap m(dlht_options(args.keys));
+    // Keys: ksize bytes, unique in the first 8 bytes.
+    std::vector<std::string> keymat(args.keys, std::string(ksize, 'k'));
+    for (std::uint64_t k = 0; k < args.keys; ++k) {
+      std::memcpy(keymat[k].data(), &k, sizeof(k));
+      m.insert_kv(keymat[k].data(), ksize, "12345678", 8);
+    }
+
+    const double g = run_tput(threads, secs, [&](int tid) {
+      return [&m, &keymat, ksize,
+              gen = UniformGenerator(args.keys, splitmix64(tid + 1))]() mutable {
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 64; ++i) {
+          const auto& key = keymat[gen.next()];
+          hits += m.get_ptr_kv(key.data(), ksize).status == Status::kOk;
+        }
+        (void)hits;
+        return std::uint64_t{64};
+      };
+    });
+    print_row("fig10", "Get", static_cast<double>(ksize), g, "Mreq/s");
+    if (ksize == 8) get8 = g;
+    if (ksize == 16) get16 = g;
+
+    const double d = run_tput(threads, secs, [&, threads](int tid) {
+      return [&m, ksize,
+              gen = FreshKeyGenerator(args.keys, (unsigned)tid,
+                                      (unsigned)threads),
+              buf = std::string(ksize, 'f')]() mutable {
+        for (int i = 0; i < 32; ++i) {
+          const std::uint64_t k = gen.next();
+          std::memcpy(buf.data(), &k, sizeof(k));
+          m.insert_kv(buf.data(), buf.size(), "12345678", 8);
+          m.erase_kv(buf.data(), buf.size());
+        }
+        return std::uint64_t{64};
+      };
+    });
+    print_row("fig10", "InsDel", static_cast<double>(ksize), d, "Mreq/s");
+  }
+
+  check_shape("cliff past 8-byte keys (blob dereference on every Get)",
+              get16 < get8);
+  return 0;
+}

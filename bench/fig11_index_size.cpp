@@ -1,0 +1,48 @@
+// Figure 11: varying the index size (cache-resident ... memory-resident).
+//
+// Paper shape: for a tiny (L2-resident) index, prefetching only adds
+// overhead, so Get-NoBatch wins; as the index outgrows the caches, batching
+// becomes increasingly beneficial. InsDel gains nothing from a small index
+// because bin-header CAS conflicts rise instead.
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const int threads = args.threads_list.back();
+  const double secs = args.seconds();
+  print_header("fig11", "throughput vs index size");
+
+  double batch_small = 0, nobatch_small = 0, batch_big = 0, nobatch_big = 0;
+  const std::vector<std::uint64_t> key_counts = {
+      1u << 13, 1u << 16, 1u << 19, std::max<std::uint64_t>(args.keys, 1u << 21)};
+
+  for (const std::uint64_t keys : key_counts) {
+    InlinedMap m(dlht_options(keys));
+    workload::populate(m, keys);
+    const double mb =
+        static_cast<double>(keys * 2 / 3 + 64) * 64 / (1 << 20);
+
+    const double b = get_tput(m, keys, threads, secs, kDefaultBatch);
+    print_row("fig11", "Get", mb, b, "Mreq/s");
+    const double nb = get_tput(m, keys, threads, secs, 1);
+    print_row("fig11", "Get-NoBatch", mb, nb, "Mreq/s");
+    const double d = insdel_tput(m, keys, threads, secs, kDefaultBatch);
+    print_row("fig11", "InsDel", mb, d, "Mreq/s");
+
+    if (keys == key_counts.front()) {
+      batch_small = b;
+      nobatch_small = nb;
+    }
+    if (keys == key_counts.back()) {
+      batch_big = b;
+      nobatch_big = nb;
+    }
+  }
+
+  check_shape("batching gains grow with index size",
+              (batch_big / nobatch_big) > (batch_small / nobatch_small));
+  return 0;
+}

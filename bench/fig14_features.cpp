@@ -1,0 +1,109 @@
+// Figure 14: the cost of enabling features, stacked and one-at-a-time.
+//
+// Default configuration (Table 2, bold): Allocator mode with 32-byte
+// values, modulo hashing, resizing DISABLED, pool allocator (mimalloc
+// stand-in). Each bar enables one feature on top (stacked) or alone
+// (single): Resizing, wyhash, variable value size, variable key size,
+// namespaces, and finally libc malloc instead of the pool.
+#include "alloc/pool_allocator.hpp"
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+namespace {
+
+struct PoolShim {
+  PoolAllocator* pool;
+  void* allocate(std::size_t n) { return pool->allocate(n); }
+  void deallocate(void* p, std::size_t n) { pool->deallocate(p, n); }
+};
+
+// Configuration aliases. R = resizing, H = wyhash, V = var-value,
+// K = var-key (same machinery as V in this implementation: the size header
+// covers both), N = namespaces.
+using MapDefault = BasicMap<MapTraits<Mode::kAllocator, ModuloHash, PoolShim,
+                                      false, false, false, false>>;
+using MapR = BasicMap<MapTraits<Mode::kAllocator, ModuloHash, PoolShim,
+                                true, false, false, false>>;
+using MapRH = BasicMap<MapTraits<Mode::kAllocator, WyHash, PoolShim,
+                                 true, false, false, false>>;
+using MapRHV = BasicMap<MapTraits<Mode::kAllocator, WyHash, PoolShim,
+                                  true, false, false, true>>;
+using MapRHVN = BasicMap<MapTraits<Mode::kAllocator, WyHash, PoolShim,
+                                   true, false, true, true>>;
+using MapH = BasicMap<MapTraits<Mode::kAllocator, WyHash, PoolShim,
+                                false, false, false, false>>;
+using MapV = BasicMap<MapTraits<Mode::kAllocator, ModuloHash, PoolShim,
+                                false, false, false, true>>;
+using MapN = BasicMap<MapTraits<Mode::kAllocator, ModuloHash, PoolShim,
+                                false, false, true, true>>;
+using MapMalloc = BasicMap<MapTraits<Mode::kAllocator, ModuloHash,
+                                     MallocAllocator, false, false, false,
+                                     false>>;
+
+constexpr std::size_t kValueSize = 32;
+
+template <class M, class A>
+void bench_config(const char* name, const Args& args, A alloc) {
+  const std::uint64_t keys = args.keys;
+  const int threads = args.threads_list.back();
+  Options opts = dlht_options(keys);
+  opts.fixed_value_size = kValueSize;
+  M m(opts, alloc);
+  char blob[kValueSize] = "thirty-two byte value payload!!";
+  for (std::uint64_t k = 0; k < keys; ++k) m.insert(k, blob, kValueSize);
+
+  const double g = run_tput(threads, args.seconds(), [&m, keys](int tid) {
+    return [&m, gen = UniformGenerator(keys, splitmix64(tid + 1))]() mutable {
+      std::uint64_t h = 0;
+      for (int i = 0; i < 64; ++i) {
+        h += m.get_ptr(gen.next()).status == Status::kOk;
+      }
+      (void)h;
+      return std::uint64_t{64};
+    };
+  });
+  print_row("fig14", std::string(name) + "/Get", 0, g, "Mreq/s");
+
+  const double d = run_tput(threads, args.seconds(),
+                            [&m, keys, threads, &blob](int tid) {
+    return [&m, gen = FreshKeyGenerator(keys, (unsigned)tid,
+                                        (unsigned)threads),
+            &blob]() mutable {
+      for (int i = 0; i < 32; ++i) {
+        const std::uint64_t k = gen.next();
+        m.insert(k, blob, kValueSize);
+        m.erase(k);
+      }
+      return std::uint64_t{64};
+    };
+  });
+  print_row("fig14", std::string(name) + "/InsDel", 0, d, "Mreq/s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  args.keys = std::min<std::uint64_t>(args.keys, 1u << 19);
+  print_header("fig14", "feature-enabling cost, stacked + single (32B values)");
+
+  PoolAllocator pool;
+  const PoolShim shim{&pool};
+
+  // Stacked.
+  bench_config<MapDefault>("stack/Default", args, shim);
+  bench_config<MapR>("stack/+Resizing", args, shim);
+  bench_config<MapRH>("stack/+Hashing", args, shim);
+  bench_config<MapRHV>("stack/+VarSize", args, shim);
+  bench_config<MapRHVN>("stack/+Namespaces", args, shim);
+
+  // One at a time.
+  bench_config<MapR>("single/Resizing", args, shim);
+  bench_config<MapH>("single/Hashing", args, shim);
+  bench_config<MapV>("single/VarValue", args, shim);
+  bench_config<MapN>("single/Namespaces", args, shim);
+  bench_config<MapMalloc>("single/NoPoolAlloc", args, MallocAllocator{});
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 15: average and tail (p99) latency of Gets and InsDel vs load.
+//
+// Load is swept via thread count (closed loop). Paper shape: averages of
+// hundreds of nanoseconds rising with load; p99 below a microsecond even
+// loaded; Gets cheaper than InsDel (CAS-free).
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const std::uint64_t keys = args.keys;
+  print_header("fig15", "latency (avg, p99) vs load");
+
+  InlinedMap m(dlht_options(keys));
+  workload::populate(m, keys);
+
+  double get_avg_low = 0, insdel_avg_low = 0;
+
+  for (const int t : args.threads_list) {
+    // One request per work unit so the histogram records per-op latency.
+    const auto rget = workload::run_for(
+        {.threads = t, .seconds = args.seconds(), .measure_latency = true},
+        [&m, keys](int tid) {
+          return [&m,
+                  gen = UniformGenerator(keys, splitmix64(tid + 1))]() mutable {
+            m.get(gen.next());
+            return std::uint64_t{1};
+          };
+        });
+    print_row("fig15", "Get/avg", t, rget.avg_latency_ns, "ns");
+    print_row("fig15", "Get/p99", t, static_cast<double>(rget.p99_ns), "ns");
+
+    const auto rid = workload::run_for(
+        {.threads = t, .seconds = args.seconds(), .measure_latency = true},
+        [&m, keys, t](int tid) {
+          return [&m, gen = FreshKeyGenerator(keys, (unsigned)tid,
+                                              (unsigned)t)]() mutable {
+            const std::uint64_t k = gen.next();
+            m.insert(k, k);
+            m.erase(k);
+            return std::uint64_t{2};
+          };
+        });
+    print_row("fig15", "InsDel/avg", t, rid.avg_latency_ns / 2, "ns");
+    print_row("fig15", "InsDel/p99", t, static_cast<double>(rid.p99_ns) / 2,
+              "ns");
+    if (t == args.threads_list.front()) {
+      get_avg_low = rget.avg_latency_ns;
+      insdel_avg_low = rid.avg_latency_ns / 2;
+    }
+  }
+
+  check_shape("Gets have lower latency than InsDel",
+              get_avg_low < insdel_avg_low * 1.2);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 16: the single-thread build (§3.4.5) vs the concurrent build run
+// on one thread, four workloads.
+//
+// Paper shape: InsDel +31 % (2 CAS + 1 CAS become stores), InsDel-Resize
+// +35 % (no enter/leave notifications), InsDel-Resize-NoBatch +91 %
+// (notification per request, not per batch), Get ~0 % (8-byte atomic loads
+// are free on x86).
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+using StNoResize = BasicMap<
+    MapTraits<Mode::kInlined, ModuloHash, MallocAllocator, false, true>>;
+using MtNoResize = BasicMap<
+    MapTraits<Mode::kInlined, ModuloHash, MallocAllocator, false, false>>;
+using StResize = SingleThreadMap;
+using MtResize = InlinedMap;
+
+namespace {
+
+template <class M>
+double one_thread_get(M& m, std::uint64_t keys, double secs) {
+  return run_tput(1, secs, workload::make_get_worker(m, keys, 3));
+}
+
+template <class M>
+double one_thread_insdel_batched(M& m, double secs) {
+  return run_tput(1, secs,
+                  workload::make_insdel_batch_worker(m, 0, 1, 24));
+}
+
+template <class M>
+double one_thread_insdel_nobatch(M& m, double secs) {
+  return run_tput(1, secs, workload::make_insdel_worker(m, 0, 1));
+}
+
+void report(const char* workload_name, double st, double mt) {
+  print_row("fig16", std::string(workload_name) + "/single-thread-build", 1,
+            st, "Mreq/s");
+  print_row("fig16", std::string(workload_name) + "/concurrent-build", 1, mt,
+            "Mreq/s");
+  print_row("fig16", std::string(workload_name) + "/improvement", 1,
+            (st / mt - 1.0) * 100.0, "%");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const std::uint64_t keys = args.keys;
+  const double secs = args.seconds();
+  print_header("fig16", "single-thread optimizations (§3.4.5)");
+
+  double insdel_gain = 0, get_gain = 0;
+
+  {  // Get (resizing build, batched)
+    StResize st(dlht_options(keys));
+    MtResize mt(dlht_options(keys));
+    workload::populate(st, keys);
+    workload::populate(mt, keys);
+    const double a = one_thread_get(st, keys, secs);
+    const double b = one_thread_get(mt, keys, secs);
+    report("Get", a, b);
+    get_gain = a / b - 1.0;
+  }
+  {  // InsDel (no resizing compiled in)
+    StNoResize st(dlht_options(keys));
+    MtNoResize mt(dlht_options(keys));
+    const double a = one_thread_insdel_nobatch(st, secs);
+    const double b = one_thread_insdel_nobatch(mt, secs);
+    report("InsDel", a, b);
+    insdel_gain = a / b - 1.0;
+  }
+  {  // InsDel-Resize (resizing compiled in, batched)
+    StResize st(dlht_options(keys));
+    MtResize mt(dlht_options(keys));
+    report("InsDel-Resize", one_thread_insdel_batched(st, secs),
+           one_thread_insdel_batched(mt, secs));
+  }
+  {  // InsDel-Resize-NoBatch: enter/leave per request on the concurrent build
+    StResize st(dlht_options(keys));
+    MtResize mt(dlht_options(keys));
+    report("InsDel-Resize-NoBatch", one_thread_insdel_nobatch(st, secs),
+           one_thread_insdel_nobatch(mt, secs));
+  }
+
+  check_shape("single-thread build speeds up InsDel", insdel_gain > 0.05);
+  check_shape("Get is unaffected (cheap atomic loads)",
+              get_gain > -0.15 && get_gain < 0.25);
+  return 0;
+}

@@ -1,0 +1,254 @@
+// google-benchmark micro-op benches: hash functions, header CAS, dw-CAS,
+// allocators, and single operations of DLHT and the baselines. These are
+// the op-level costs behind the figure-level results.
+#include <benchmark/benchmark.h>
+
+#include "alloc/pool_allocator.hpp"
+#include "baselines/baselines.hpp"
+#include "common/rng.hpp"
+#include "dlht/dlht.hpp"
+
+namespace {
+
+using namespace dlht;
+
+// ------------------------------------------------------------------- hashes
+
+template <class H>
+void BM_Hash64(benchmark::State& state) {
+  H h;
+  std::uint64_t k = 0x12345678;
+  for (auto _ : state) {
+    k = h(k);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_Hash64<ModuloHash>);
+BENCHMARK(BM_Hash64<WyHash>);
+BENCHMARK(BM_Hash64<Fnv1aHash>);
+BENCHMARK(BM_Hash64<Murmur3Hash>);
+BENCHMARK(BM_Hash64<XxMixHash>);
+
+static void BM_WyHashBytes(benchmark::State& state) {
+  std::vector<char> buf(static_cast<std::size_t>(state.range(0)), 'x');
+  std::uint64_t h = 0;
+  for (auto _ : state) {
+    h = wyhash_bytes(buf.data(), buf.size(), h);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WyHashBytes)->Arg(8)->Arg(64)->Arg(256)->Arg(4096);
+
+// -------------------------------------------------------------- atomic ops
+
+static void BM_HeaderCas(benchmark::State& state) {
+  alignas(64) std::uint64_t header = 0;
+  for (auto _ : state) {
+    std::uint64_t expected = header;
+    const std::uint64_t desired = hdr::bump_version(
+        hdr::with_slot_state(expected, 0, SlotState::kValid));
+    Sync<true>::cas(&header, expected, desired);
+    benchmark::DoNotOptimize(header);
+  }
+}
+BENCHMARK(BM_HeaderCas);
+
+static void BM_SlotDwCas(benchmark::State& state) {
+  alignas(16) Slot s{1, 2};
+  std::uint64_t v = 2;
+  for (auto _ : state) {
+    Sync<true>::dwcas(&s, Slot{1, v}, Slot{1, v + 1});
+    ++v;
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SlotDwCas);
+
+static void BM_SingleThreadStoreVsCas(benchmark::State& state) {
+  alignas(64) std::uint64_t header = 0;
+  for (auto _ : state) {
+    std::uint64_t expected = header;
+    Sync<false>::cas(&header, expected, hdr::bump_version(expected));
+    benchmark::DoNotOptimize(header);
+  }
+}
+BENCHMARK(BM_SingleThreadStoreVsCas);
+
+// -------------------------------------------------------------- allocators
+
+static void BM_PoolAllocator(benchmark::State& state) {
+  PoolAllocator pool;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = pool.allocate(n);
+    benchmark::DoNotOptimize(p);
+    pool.deallocate(p, n);
+  }
+}
+BENCHMARK(BM_PoolAllocator)->Arg(16)->Arg(64)->Arg(1024);
+
+static void BM_Malloc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = std::malloc(n);
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+}
+BENCHMARK(BM_Malloc)->Arg(16)->Arg(64)->Arg(1024);
+
+// ------------------------------------------------------------- map singles
+
+static void BM_DlhtGet(benchmark::State& state) {
+  static InlinedMap map(Options{.initial_bins = 1 << 18});
+  static bool populated = false;
+  if (!populated) {
+    for (std::uint64_t k = 0; k < (1u << 18); ++k) map.insert(k, k);
+    populated = true;
+  }
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get(rng.next_below(1u << 18)));
+  }
+}
+BENCHMARK(BM_DlhtGet);
+
+static void BM_DlhtInsertErase(benchmark::State& state) {
+  InlinedMap map(Options{.initial_bins = 1 << 12});
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    map.insert(k, k);
+    map.erase(k);
+    ++k;
+  }
+}
+BENCHMARK(BM_DlhtInsertErase);
+
+static void BM_DlhtPut(benchmark::State& state) {
+  InlinedMap map(Options{.initial_bins = 1 << 12});
+  for (std::uint64_t k = 0; k < 1024; ++k) map.insert(k, k);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.put(rng.next_below(1024), rng()));
+  }
+}
+BENCHMARK(BM_DlhtPut);
+
+static void BM_DlhtBatchGet(benchmark::State& state) {
+  static InlinedMap map(Options{.initial_bins = 1 << 18});
+  static bool populated = false;
+  if (!populated) {
+    for (std::uint64_t k = 0; k < (1u << 18); ++k) map.insert(k, k);
+    populated = true;
+  }
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<InlinedMap::Request> reqs(batch);
+  std::vector<InlinedMap::Reply> reps(batch);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    for (auto& rq : reqs) rq = {OpType::kGet, rng.next_below(1u << 18), 0, 0};
+    map.execute_batch(reqs.data(), reps.data(), batch);
+    benchmark::DoNotOptimize(reps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DlhtBatchGet)->Arg(8)->Arg(24)->Arg(64);
+
+static void BM_GrowtGet(benchmark::State& state) {
+  static baselines::GrowtLike<> map(1 << 20);
+  static bool populated = false;
+  if (!populated) {
+    for (std::uint64_t k = 1; k <= (1u << 18); ++k) map.insert(k, k);
+    populated = true;
+  }
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get(rng.next_below(1u << 18) + 1));
+  }
+}
+BENCHMARK(BM_GrowtGet);
+
+static void BM_DlhtAllocatorGetPtr(benchmark::State& state) {
+  static AllocatorMap<> map(Options{.initial_bins = 1 << 16,
+                                    .fixed_value_size = 64});
+  static bool populated = false;
+  if (!populated) {
+    char blob[64] = {};
+    for (std::uint64_t k = 0; k < (1u << 16); ++k) map.insert(k, blob, 64);
+    populated = true;
+  }
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get_ptr(rng.next_below(1u << 16)));
+  }
+}
+BENCHMARK(BM_DlhtAllocatorGetPtr);
+
+static void BM_DlhtAllocatorInsertErase(benchmark::State& state) {
+  AllocatorMap<> map(Options{.initial_bins = 1 << 12,
+                             .fixed_value_size = 64});
+  char blob[64] = {};
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    map.insert(k, blob, 64);
+    map.erase(k);
+    if ((k & 127) == 0) map.gc_checkpoint();
+    ++k;
+  }
+}
+BENCHMARK(BM_DlhtAllocatorInsertErase);
+
+static void BM_DlhtBatchInsertDelete(benchmark::State& state) {
+  InlinedMap map(Options{.initial_bins = 1 << 12});
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<InlinedMap::Request> reqs(batch);
+  std::vector<InlinedMap::Reply> reps(batch);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < batch; i += 2) {
+      reqs[i] = {OpType::kInsert, k, k, 0};
+      reqs[i + 1] = {OpType::kDelete, k, 0, 0};
+      ++k;
+    }
+    map.execute_batch(reqs.data(), reps.data(), batch & ~std::size_t{1});
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DlhtBatchInsertDelete)->Arg(8)->Arg(24);
+
+static void BM_DlhtShadowCommit(benchmark::State& state) {
+  InlinedMap map(Options{.initial_bins = 1 << 12});
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    map.insert_shadow(k, k);
+    map.commit_shadow(k);
+    map.erase(k);
+    ++k;
+  }
+}
+BENCHMARK(BM_DlhtShadowCommit);
+
+static void BM_EpochGcCheckpoint(benchmark::State& state) {
+  AllocatorMap<> map(Options{.initial_bins = 256, .fixed_value_size = 8});
+  for (auto _ : state) {
+    map.gc_checkpoint();
+  }
+}
+BENCHMARK(BM_EpochGcCheckpoint);
+
+static void BM_MicaGet(benchmark::State& state) {
+  static baselines::MicaLike<> map(1 << 16);
+  static bool populated = false;
+  if (!populated) {
+    for (std::uint64_t k = 1; k <= (1u << 18); ++k) map.insert(k, k);
+    populated = true;
+  }
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get(rng.next_below(1u << 18) + 1));
+  }
+}
+BENCHMARK(BM_MicaGet);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Table 1 + §5.1.5: the feature matrix (static, from the design) and the
+// measured occupancy-until-resize study.
+//
+// Occupancy protocol (§5.1.5): populate a growing index with wyhash until
+// the first resize fires; occupancy = live keys / total slots at that
+// moment. Paper: DLHT 63-72 % (link buckets = bins/5), CLHT 1-5 %,
+// open-addressing designs resize at 30-50 % fill by policy (GrowT: 30 %).
+#include "bench_maps.hpp"
+
+using namespace dlht;
+using namespace dlht::bench;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  (void)args;
+  print_header("tab01", "feature matrix + occupancy until resize (wyhash)");
+
+  std::puts(
+      "# design    | addressing | lock-free ops | deletes-free-slots | "
+      "resize             | prefetch | inline");
+  std::puts(
+      "# DLHT      | closed     | yes           | yes                | "
+      "parallel,non-block | yes      | yes");
+  std::puts(
+      "# CLHT      | closed     | yes           | yes                | "
+      "serial,blocking    | no       | yes");
+  std::puts(
+      "# GrowT     | open       | yes           | tombstone          | "
+      "parallel,blocking  | no       | yes");
+  std::puts(
+      "# Folly     | open       | yes           | tombstone,never    | "
+      "none               | no       | yes");
+  std::puts(
+      "# DRAMHiT   | open       | upsert-only   | tombstone,never    | "
+      "none               | yes      | yes");
+  std::puts(
+      "# MICA      | closed     | lock-based    | yes                | "
+      "none               | yes      | no");
+
+  // --- DLHT occupancy, link_ratio = 1/5 as in §5.1.5.
+  {
+    using WyMap = BasicMap<MapTraits<Mode::kInlined, WyHash>>;
+    WyMap m(Options{.initial_bins = 1 << 14, .link_ratio = 0.2});
+    const std::size_t total =
+        (1u << 14) * 3 + static_cast<std::size_t>((1u << 14) * 0.2) * 4;
+    std::uint64_t k = 0;
+    while (m.resizes_completed() == 0) {
+      m.insert(k, k);
+      ++k;
+    }
+    const double occ = static_cast<double>(k - 1) / static_cast<double>(total);
+    print_row("tab01", "DLHT/occupancy", 0, occ * 100.0, "%");
+    check_shape("DLHT occupancy in the paper's 55-80% band",
+                occ > 0.55 && occ < 0.80);
+  }
+
+  // --- CLHT-like occupancy (no chaining).
+  {
+    baselines::ClhtLike<WyHash> m(1 << 14);
+    const std::size_t total = (1u << 14) * 3;
+    std::uint64_t k = 1;
+    const std::uint64_t before = m.resizes();
+    while (m.resizes() == before) {
+      m.insert(k, k);
+      ++k;
+    }
+    const double occ = static_cast<double>(k - 1) / static_cast<double>(total);
+    print_row("tab01", "CLHT/occupancy", 0, occ * 100.0, "%");
+    check_shape("CLHT occupancy collapses (< 35%)", occ < 0.35);
+  }
+
+  // --- GrowT: resizes at its 30 % fill policy by construction.
+  {
+    baselines::GrowtLike<WyHash> m(1 << 14, 0.30);
+    std::uint64_t k = 1;
+    while (m.migrations() == 0) {
+      m.insert(k, k);
+      ++k;
+    }
+    const double occ = static_cast<double>(k - 1) / (1 << 14);
+    print_row("tab01", "GrowT/occupancy", 0, occ * 100.0, "%");
+    check_shape("GrowT resizes at ~30% fill", occ > 0.25 && occ < 0.40);
+  }
+  return 0;
+}
