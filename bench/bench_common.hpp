@@ -18,9 +18,20 @@
 #include <vector>
 
 #include "common/topology.hpp"
+#include "dlht/dlht.hpp"
 #include "workload/driver.hpp"
 
 namespace dlht::bench {
+
+/// Paper default geometry, shared by the figure benches and micro_ops:
+/// bins ~ 2/3 of keys (67M bins for 100M keys), link buckets bins/8.
+inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
+  Options o;
+  o.initial_bins = static_cast<std::size_t>(keys * 2 / 3 + 64);
+  o.link_ratio = 0.125;
+  o.max_threads = max_threads;
+  return o;
+}
 
 struct Args {
   std::uint64_t keys = 1u << 20;
@@ -33,8 +44,23 @@ struct Args {
 
 inline std::vector<int> default_threads() {
   const int hw = static_cast<int>(hardware_threads());
+  // Sweep up to 4x the hardware threads (oversubscription shows the
+  // batching cliff), with 8 as the floor so small VMs still sweep.
+  const int cap = 4 * hw > 8 ? 4 * hw : 8;
   std::vector<int> ts;
-  for (int t = 1; t <= 4 * hw && t <= 8; t *= 2) ts.push_back(t);
+  for (int t = 1; t <= cap; t *= 2) ts.push_back(t);
+  return ts;
+}
+
+inline std::vector<int> parse_thread_list(const char* s) {
+  std::vector<int> ts;
+  while (s != nullptr && *s != '\0') {
+    const int t = std::atoi(s);
+    if (t > 0) ts.push_back(t);  // drop typos instead of running 0 threads
+    const char* comma = std::strchr(s, ',');
+    if (comma == nullptr) break;
+    s = comma + 1;
+  }
   return ts;
 }
 
@@ -47,6 +73,10 @@ inline Args parse_args(int argc, char** argv) {
     a.ms = std::strtod(env, nullptr);
   }
   a.threads_list = default_threads();
+  if (const char* env = std::getenv("DLHT_BENCH_THREADS")) {
+    auto ts = parse_thread_list(env);
+    if (!ts.empty()) a.threads_list = std::move(ts);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -59,14 +89,8 @@ inline Args parse_args(int argc, char** argv) {
     } else if (arg == "--scale") {
       a.scale = std::strtod(next(), nullptr);
     } else if (arg == "--threads-list") {
-      a.threads_list.clear();
-      const char* s = next();
-      while (*s != '\0') {
-        a.threads_list.push_back(std::atoi(s));
-        const char* comma = std::strchr(s, ',');
-        if (comma == nullptr) break;
-        s = comma + 1;
-      }
+      auto ts = parse_thread_list(next());
+      if (!ts.empty()) a.threads_list = std::move(ts);  // never leave it empty
     }
   }
   return a;

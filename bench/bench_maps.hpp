@@ -19,15 +19,9 @@
 
 namespace dlht::bench {
 
-inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
-  // Paper default geometry: bins ~ 2/3 of keys (67M bins for 100M keys),
-  // link buckets bins/8, resizing available.
-  Options o;
-  o.initial_bins = static_cast<std::size_t>(keys * 2 / 3 + 64);
-  o.link_ratio = 0.125;
-  o.max_threads = max_threads;
-  return o;
-}
+// dlht_options (the paper's default table geometry) lives in
+// bench_common.hpp so micro_ops' shape check measures the same
+// configuration as the figure benches.
 
 template <class WorkerFactory>
 double run_tput(int threads, double seconds, WorkerFactory&& wf) {

@@ -1,0 +1,104 @@
+// Size-class pool allocator backing AllocatorMap's out-of-line values.
+//
+// Power-of-two size classes from 16 B to 64 KiB, each with its own
+// spinlocked free list carved from 1 MiB slabs; larger requests fall
+// through to malloc. Deallocation pushes the block back onto its class
+// list, so steady-state insert/erase churn never calls malloc.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace dlht {
+
+class PoolAllocator {
+ public:
+  PoolAllocator() = default;
+
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  ~PoolAllocator() {
+    for (void* s : slabs_) std::free(s);
+  }
+
+  void* allocate(std::size_t n) {
+    const int c = size_class(n);
+    if (c < 0) return std::malloc(n);
+    SizeClass& sc = classes_[c];
+    SpinGuard g(sc.lock);
+    if (sc.free_head != nullptr) {
+      void* p = sc.free_head;
+      sc.free_head = *static_cast<void**>(p);
+      return p;
+    }
+    const std::size_t bytes = std::size_t{16} << c;
+    if (sc.carve_left < bytes) {
+      void* slab = std::malloc(kSlabBytes);
+      if (slab == nullptr) throw std::bad_alloc();
+      {
+        std::lock_guard<std::mutex> sg(slabs_mu_);
+        slabs_.push_back(slab);
+      }
+      sc.carve = static_cast<char*>(slab);
+      sc.carve_left = kSlabBytes;
+    }
+    void* p = sc.carve;
+    sc.carve += bytes;
+    sc.carve_left -= bytes;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t n) {
+    if (p == nullptr) return;
+    const int c = size_class(n);
+    if (c < 0) {
+      std::free(p);
+      return;
+    }
+    SizeClass& sc = classes_[c];
+    SpinGuard g(sc.lock);
+    *static_cast<void**>(p) = sc.free_head;
+    sc.free_head = p;
+  }
+
+ private:
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 20;
+  static constexpr int kClasses = 13;  // 16 B .. 64 KiB
+
+  /// Class index for a request, or -1 for malloc passthrough.
+  static int size_class(std::size_t n) {
+    std::size_t sz = 16;
+    for (int c = 0; c < kClasses; ++c, sz <<= 1) {
+      if (n <= sz) return c;
+    }
+    return -1;
+  }
+
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag& f) : flag(f) {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag.clear(std::memory_order_release); }
+    std::atomic_flag& flag;
+  };
+
+  struct SizeClass {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    void* free_head = nullptr;
+    char* carve = nullptr;
+    std::size_t carve_left = 0;
+  };
+
+  SizeClass classes_[kClasses];
+  std::mutex slabs_mu_;
+  std::vector<void*> slabs_;
+};
+
+}  // namespace dlht

@@ -1,0 +1,53 @@
+// Per-thread random number generation for the workloads and benches.
+#pragma once
+
+#include <cstdint>
+
+namespace dlht {
+
+/// splitmix64: seeds the other generators and decorrelates thread ids.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, passes BigCrush, one per worker thread.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    for (auto& w : s_) {
+      seed = splitmix64(seed);
+      w = seed;
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n) without modulo bias (Lemire's multiply-shift).
+  std::uint64_t next_below(std::uint64_t n) {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace dlht

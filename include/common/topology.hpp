@@ -1,0 +1,34 @@
+// Hardware topology helpers: thread counts and core pinning. The paper's
+// numbers depend on threads staying put; the driver pins workers round-robin
+// unless RunSpec::pin is cleared.
+#pragma once
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dlht {
+
+inline unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n != 0 ? n : 1;
+}
+
+/// Pin the calling thread to one CPU. Best-effort: returns false (and the
+/// thread keeps floating) on non-Linux hosts or if affinity is restricted.
+inline bool pin_thread(unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace dlht

@@ -1,0 +1,77 @@
+// The single-cache-line bucket: one 64-bit header word plus three inline
+// key/value slots and a 32-bit link to an overflow (link) bucket.
+//
+// Header layout (64 bits):
+//   [ 0..23]  three 8-bit fingerprints, one per slot
+//   [24..29]  three 2-bit slot states (empty / valid / shadow)
+//   [30]      writer lock bit
+//   [31]      reserved
+//   [32..63]  32-bit version, bumped by every mutation of the bucket
+//
+// A Get reads the header once, probes matching fingerprints, and re-reads
+// the header to validate — every writer either holds the lock bit (home
+// bucket) or publishes a version bump, so an unchanged header proves the
+// slot bytes were stable.
+#pragma once
+
+#include <cstdint>
+
+#include "dlht/sync.hpp"
+
+namespace dlht {
+
+inline constexpr int kSlotsPerBucket = 3;
+
+enum class SlotState : std::uint8_t {
+  kEmpty = 0,
+  kValid = 1,
+  kShadow = 2,  // reserved but not yet visible to Gets (two-phase insert)
+};
+
+namespace hdr {
+
+constexpr std::uint64_t kLockBit = 1ull << 30;
+
+constexpr std::uint8_t fingerprint(std::uint64_t h, int slot) {
+  return static_cast<std::uint8_t>(h >> (8 * slot));
+}
+constexpr std::uint64_t with_fingerprint(std::uint64_t h, int slot,
+                                         std::uint8_t fp) {
+  const int sh = 8 * slot;
+  return (h & ~(0xffull << sh)) | (static_cast<std::uint64_t>(fp) << sh);
+}
+
+constexpr SlotState slot_state(std::uint64_t h, int slot) {
+  return static_cast<SlotState>((h >> (24 + 2 * slot)) & 3);
+}
+constexpr std::uint64_t with_slot_state(std::uint64_t h, int slot,
+                                        SlotState s) {
+  const int sh = 24 + 2 * slot;
+  return (h & ~(3ull << sh)) | (static_cast<std::uint64_t>(s) << sh);
+}
+
+constexpr bool locked(std::uint64_t h) { return (h & kLockBit) != 0; }
+constexpr std::uint64_t with_lock(std::uint64_t h) { return h | kLockBit; }
+constexpr std::uint64_t without_lock(std::uint64_t h) {
+  return h & ~kLockBit;
+}
+
+constexpr std::uint32_t version(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h >> 32);
+}
+constexpr std::uint64_t bump_version(std::uint64_t h) {
+  return (h & 0xffffffffull) |
+         (static_cast<std::uint64_t>(version(h) + 1) << 32);
+}
+
+}  // namespace hdr
+
+struct alignas(64) Bucket {
+  std::uint64_t header = 0;
+  Slot slots[kSlotsPerBucket] = {};
+  std::uint32_t link = 0;  // 1-based index into the link-bucket pool; 0=none
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(Bucket) == 64, "bucket must be one cache line");
+
+}  // namespace dlht

@@ -1,0 +1,563 @@
+// DLHT core (conf_hpdc_KatsarakisGN24): a memory-resident concurrent
+// hashtable built from single-cache-line buckets.
+//
+// Design, following the paper:
+//  * Every probe touches exactly one cache line: a bucket holds an 8-byte
+//    header (fingerprints + slot states + lock + version), three inline
+//    key/value slots, and a 32-bit link to an overflow bucket drawn from a
+//    pool sized by Options::link_ratio.
+//  * Gets are optimistic and lock-free on the fast path: read header,
+//    probe fingerprint-matching slots, re-read header to validate.
+//  * Puts/Inserts/Deletes take the home bucket's lock bit (one CAS); the
+//    home lock guards the whole link chain. Deletes free slots in place —
+//    no tombstones — so slots are immediately reusable.
+//  * The batched API software-pipelines N independent requests in stages
+//    (hash all -> prefetch all buckets -> probe all) so DRAM latency
+//    overlaps across the batch instead of serializing per request.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "alloc/pool_allocator.hpp"
+#include "dlht/bucket.hpp"
+#include "dlht/hash.hpp"
+#include "dlht/sync.hpp"
+
+namespace dlht {
+
+struct Options {
+  std::size_t initial_bins = 1 << 16;  // main buckets (rounded up to pow2)
+  double link_ratio = 0.125;           // link-bucket pool as fraction of bins
+  unsigned max_threads = 64;           // sizes future per-thread epoch slots
+  std::size_t fixed_value_size = 0;    // AllocatorMap: 0 = variable-size
+};
+
+enum class OpType : std::uint8_t { kGet = 0, kPut, kInsert, kDelete };
+
+enum class Status : std::uint8_t { kOk = 0, kNotFound, kExists };
+
+class DLHT {
+ public:
+  using Hasher = XxMixHash;
+
+  struct Request {
+    OpType op;
+    std::uint64_t key;
+    std::uint64_t value;
+    std::uint64_t user;  // opaque tag echoed into the reply
+  };
+  struct Reply {
+    Status status = Status::kNotFound;
+    std::uint64_t value = 0;
+    std::uint64_t user = 0;
+  };
+
+  explicit DLHT(const Options& o) : opts_(o) {
+    const std::size_t bins =
+        ceil_pow2(o.initial_bins < 16 ? std::size_t{16} : o.initial_bins);
+    mask_ = bins - 1;
+    main_ = alloc_buckets(bins);
+    double ratio = o.link_ratio;
+    if (ratio < 0.0) ratio = 0.0;
+    chunk0_count_ = static_cast<std::size_t>(static_cast<double>(bins) * ratio);
+    if (chunk0_count_ < 1024) chunk0_count_ = 1024;
+    chunk0_ = alloc_buckets(chunk0_count_);
+    link_capacity_.store(chunk0_count_, std::memory_order_relaxed);
+    for (auto& c : grow_chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~DLHT() {
+    std::free(main_);
+    std::free(chunk0_);
+    for (auto& c : grow_chunks_) {
+      if (Bucket* p = c.load(std::memory_order_relaxed)) std::free(p);
+    }
+  }
+
+  DLHT(const DLHT&) = delete;
+  DLHT& operator=(const DLHT&) = delete;
+
+  std::size_t bins() const { return mask_ + 1; }
+  const Options& options() const { return opts_; }
+
+  // ------------------------------------------------------------ scalar ops
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    return get_hashed(hash_(key), key);
+  }
+
+  /// Insert if absent. Returns false if the key already exists.
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    return mutate_insert(hash_(key), key, value, /*upsert=*/false,
+                         SlotState::kValid) == Status::kOk;
+  }
+
+  /// Upsert. Returns true if an existing value was overwritten.
+  bool put(std::uint64_t key, std::uint64_t value) {
+    return mutate_insert(hash_(key), key, value, /*upsert=*/true,
+                         SlotState::kValid) == Status::kExists;
+  }
+
+  bool erase(std::uint64_t key) { return extract(key).has_value(); }
+
+  /// Delete, returning the removed value. The slot is freed in place (no
+  /// tombstone) and immediately reusable by later inserts.
+  std::optional<std::uint64_t> extract(std::uint64_t key) {
+    return extract_hashed(hash_(key), key);
+  }
+
+  /// Two-phase insert: reserve a slot invisible to Gets...
+  bool insert_shadow(std::uint64_t key, std::uint64_t value) {
+    return mutate_insert(hash_(key), key, value, /*upsert=*/false,
+                         SlotState::kShadow) == Status::kOk;
+  }
+
+  /// ...then flip it visible once the caller's side effects are durable.
+  bool commit_shadow(std::uint64_t key) {
+    const std::uint64_t h = hash_(key);
+    const std::uint8_t fp = fp_of(h);
+    Bucket* home = &main_[h & mask_];
+    std::uint64_t hh = lock_bucket(home);
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        if (hdr::slot_state(bh, i) != SlotState::kShadow) continue;
+        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kValid);
+        if (b == home) {
+          unlock_bucket(home, nh);
+        } else {
+          S::store_release(&b->header, hdr::bump_version(nh));
+          unlock_bucket(home, hh);
+        }
+        return true;
+      }
+      if (b->link == 0) break;
+      b = link_at(b->link);
+      bh = b->header;
+    }
+    unlock_bucket(home, hh);
+    return false;
+  }
+
+  // ----------------------------------------------------------- batched ops
+
+  /// Batched Get: hash + prefetch every home bucket up front, then probe.
+  /// Requests that chain into link buckets prefetch the next line and are
+  /// revisited on the next sweep, so link-chain misses also overlap.
+  void get_batch(const std::uint64_t* keys, Reply* out, std::size_t n) const {
+    constexpr std::size_t kChunk = 64;
+    const Bucket* cur[kChunk];
+    std::uint8_t fp[kChunk];
+    std::uint16_t active[kChunk];
+    for (std::size_t base = 0; base < n; base += kChunk) {
+      const std::size_t m = n - base < kChunk ? n - base : kChunk;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t h = hash_(keys[base + j]);
+        cur[j] = &main_[h & mask_];
+        fp[j] = fp_of(h);
+        __builtin_prefetch(cur[j], 0, 3);
+        active[j] = static_cast<std::uint16_t>(j);
+      }
+      std::size_t na = m;
+      while (na > 0) {
+        std::size_t keep = 0;
+        for (std::size_t t = 0; t < na; ++t) {
+          const std::size_t j = active[t];
+          Reply& rp = out[base + j];
+          const Bucket* next = probe_bucket(cur[j], fp[j], keys[base + j], rp);
+          if (next != nullptr) {
+            cur[j] = next;
+            __builtin_prefetch(next, 0, 3);
+            active[keep++] = static_cast<std::uint16_t>(j);
+          }
+        }
+        na = keep;
+      }
+    }
+  }
+
+  /// Batched mixed ops, same two-stage pipeline: hash + prefetch all home
+  /// buckets, then execute in request order (so an insert followed by a
+  /// delete of the same key in one batch behaves like the scalar sequence).
+  void execute_batch(const Request* reqs, Reply* reps, std::size_t n) {
+    constexpr std::size_t kChunk = 64;
+    std::uint64_t hs[kChunk];
+    for (std::size_t base = 0; base < n; base += kChunk) {
+      const std::size_t m = n - base < kChunk ? n - base : kChunk;
+      for (std::size_t j = 0; j < m; ++j) {
+        hs[j] = hash_(reqs[base + j].key);
+        __builtin_prefetch(&main_[hs[j] & mask_], 1, 3);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const Request& rq = reqs[base + j];
+        Reply& rp = reps[base + j];
+        rp.user = rq.user;
+        switch (rq.op) {
+          case OpType::kGet: {
+            const auto v = get_hashed(hs[j], rq.key);
+            rp.status = v ? Status::kOk : Status::kNotFound;
+            rp.value = v ? *v : 0;
+            break;
+          }
+          case OpType::kPut:
+            rp.status = mutate_insert(hs[j], rq.key, rq.value, true,
+                                      SlotState::kValid);
+            rp.value = 0;
+            break;
+          case OpType::kInsert:
+            rp.status = mutate_insert(hs[j], rq.key, rq.value, false,
+                                      SlotState::kValid);
+            rp.value = 0;
+            break;
+          case OpType::kDelete: {
+            const auto v = extract_hashed(hs[j], rq.key);
+            rp.status = v ? Status::kOk : Status::kNotFound;
+            rp.value = v ? *v : 0;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  using S = Sync<true>;
+
+  static std::uint8_t fp_of(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h >> 56);
+  }
+
+  static Bucket* alloc_buckets(std::size_t count) {
+    const std::size_t bytes = count * sizeof(Bucket);
+    // 2 MiB alignment lets the kernel back the array with transparent huge
+    // pages; without them random probes also miss the dTLB, and x86 drops
+    // prefetches that need a page walk — killing the batched pipeline.
+    const std::size_t align = bytes >= (std::size_t{2} << 20) ? (std::size_t{2} << 20) : 64;
+    void* p = std::aligned_alloc(align, (bytes + align - 1) & ~(align - 1));
+    if (p == nullptr) throw std::bad_alloc();
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    if (align > 64) madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+    std::memset(p, 0, bytes);
+    return static_cast<Bucket*>(p);
+  }
+
+  // ------------------------------------------------------------- link pool
+
+  static constexpr std::size_t kGrowChunkBuckets = std::size_t{1} << 14;
+  static constexpr std::size_t kMaxGrowChunks = 1024;
+
+  Bucket* link_at(std::uint32_t idx) const {
+    std::uint64_t i = idx - 1;
+    if (i < chunk0_count_) return &chunk0_[i];
+    i -= chunk0_count_;
+    Bucket* chunk =
+        grow_chunks_[i / kGrowChunkBuckets].load(std::memory_order_acquire);
+    return chunk + (i & (kGrowChunkBuckets - 1));
+  }
+
+  std::uint32_t alloc_link() {
+    const std::uint64_t i = link_bump_.fetch_add(1, std::memory_order_relaxed);
+    while (i >= link_capacity_.load(std::memory_order_acquire)) grow_links();
+    return static_cast<std::uint32_t>(i + 1);
+  }
+
+  void grow_links() {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    const std::uint64_t cap = link_capacity_.load(std::memory_order_relaxed);
+    if (link_bump_.load(std::memory_order_relaxed) < cap) return;
+    const std::size_t n = (cap - chunk0_count_) / kGrowChunkBuckets;
+    if (n >= kMaxGrowChunks) throw std::bad_alloc();
+    grow_chunks_[n].store(alloc_buckets(kGrowChunkBuckets),
+                          std::memory_order_release);
+    link_capacity_.store(cap + kGrowChunkBuckets, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------- locking
+
+  std::uint64_t lock_bucket(Bucket* b) {
+    for (;;) {
+      const std::uint64_t h = S::load_relaxed(&b->header);
+      if (hdr::locked(h)) {
+        cpu_relax();
+        continue;
+      }
+      if (S::cas(&b->header, h, hdr::with_lock(h))) return hdr::with_lock(h);
+      cpu_relax();
+    }
+  }
+
+  /// Release with a version bump: readers validating against a pre-lock
+  /// header snapshot are guaranteed to observe a different word.
+  void unlock_bucket(Bucket* b, std::uint64_t locked_header) {
+    S::store_release(&b->header,
+                     hdr::bump_version(hdr::without_lock(locked_header)));
+  }
+
+  // ------------------------------------------------------------- probing
+
+  /// One optimistic probe of one bucket. Fills `rp` and returns nullptr
+  /// when the request is resolved; returns the next chain bucket otherwise.
+  ///
+  /// Slot selection is SWAR over the header word: one XOR + zero-byte test
+  /// matches all three fingerprints at once, masked down to valid slots, so
+  /// the common miss costs no per-slot branches.
+  const Bucket* probe_bucket(const Bucket* b, std::uint8_t fp,
+                             std::uint64_t key, Reply& rp) const {
+    for (;;) {
+      const std::uint64_t v1 = S::load_acquire(&b->header);
+      if (__builtin_expect(hdr::locked(v1), 0)) {
+        cpu_relax();
+        continue;
+      }
+      // High bit of each fingerprint byte set iff that byte equals fp.
+      const std::uint32_t fps = static_cast<std::uint32_t>(v1) & 0xffffffu;
+      const std::uint32_t x = fps ^ (0x010101u * fp);
+      std::uint32_t cand = (x - 0x010101u) & ~x & 0x808080u;
+      // Mask to slots in state kValid (2-bit state == 01).
+      const std::uint32_t st = static_cast<std::uint32_t>(v1 >> 24) & 0x3fu;
+      const std::uint32_t valid = st & ~(st >> 1) & 0x15u;  // bit 2i per slot
+      cand &= ((valid & 1u) << 7) | ((valid & 4u) << 13) | ((valid & 16u) << 19);
+      while (cand != 0) {
+        const int i = __builtin_ctz(cand) >> 3;
+        const std::uint64_t k = S::load_relaxed(&b->slots[i].key);
+        const std::uint64_t val = S::load_relaxed(&b->slots[i].value);
+        // Seqlock validation: the fence keeps the slot loads above the
+        // header re-read (an acquire load alone lets them sink below it).
+        __atomic_thread_fence(__ATOMIC_ACQUIRE);
+        if (S::load_relaxed(&b->header) != v1) goto retry;
+        if (k == key) {
+          rp.status = Status::kOk;
+          rp.value = val;
+          return nullptr;
+        }
+        cand &= cand - 1;
+      }
+      {
+        const std::uint32_t lk = __atomic_load_n(&b->link, __ATOMIC_ACQUIRE);
+        if (lk != 0) return link_at(lk);
+      }
+      rp.status = Status::kNotFound;
+      rp.value = 0;
+      return nullptr;
+    retry:;
+    }
+  }
+
+  std::optional<std::uint64_t> get_hashed(std::uint64_t h,
+                                          std::uint64_t key) const {
+    const std::uint8_t fp = fp_of(h);
+    const Bucket* b = &main_[h & mask_];
+    Reply rp;
+    while (b != nullptr) b = probe_bucket(b, fp, key, rp);
+    if (rp.status == Status::kOk) return rp.value;
+    return std::nullopt;
+  }
+
+  // ------------------------------------------------------------ mutations
+
+  Status mutate_insert(std::uint64_t h, std::uint64_t key, std::uint64_t value,
+                       bool upsert, SlotState publish_state) {
+    const std::uint8_t fp = fp_of(h);
+    Bucket* home = &main_[h & mask_];
+    const std::uint64_t hh = lock_bucket(home);
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    Bucket* empty_b = nullptr;
+    int empty_i = -1;
+    std::uint64_t empty_bh = 0;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        const SlotState st = hdr::slot_state(bh, i);
+        if (st == SlotState::kEmpty) {
+          if (empty_b == nullptr) {
+            empty_b = b;
+            empty_i = i;
+            empty_bh = bh;
+          }
+          continue;
+        }
+        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        // Key already present (valid or shadow-reserved).
+        if (!upsert) {
+          unlock_bucket(home, hh);
+          return Status::kExists;
+        }
+        S::store_relaxed(&b->slots[i].value, value);
+        if (b == home) {
+          unlock_bucket(home, bh);
+        } else {
+          S::store_release(&b->header, hdr::bump_version(bh));
+          unlock_bucket(home, hh);
+        }
+        return Status::kExists;
+      }
+      if (b->link == 0) break;
+      b = link_at(b->link);
+      bh = b->header;
+    }
+
+    if (empty_b != nullptr) {
+      S::store_relaxed(&empty_b->slots[empty_i].key, key);
+      S::store_relaxed(&empty_b->slots[empty_i].value, value);
+      std::uint64_t nh = hdr::with_fingerprint(empty_bh, empty_i, fp);
+      nh = hdr::with_slot_state(nh, empty_i, publish_state);
+      if (empty_b == home) {
+        unlock_bucket(home, nh);
+      } else {
+        S::store_release(&empty_b->header, hdr::bump_version(nh));
+        unlock_bucket(home, hh);
+      }
+      return Status::kOk;
+    }
+
+    // Chain is full: append a link bucket. Its contents are written before
+    // the release-store of last->link makes it reachable.
+    const std::uint32_t idx = alloc_link();
+    Bucket* nb = link_at(idx);
+    nb->slots[0].key = key;
+    nb->slots[0].value = value;
+    nb->link = 0;
+    std::uint64_t nh = hdr::with_fingerprint(nb->header, 0, fp);
+    nh = hdr::with_slot_state(nh, 0, publish_state);
+    S::store_release(&nb->header, hdr::bump_version(nh));
+    __atomic_store_n(&b->link, idx, __ATOMIC_RELEASE);
+    unlock_bucket(home, hh);
+    return Status::kOk;
+  }
+
+  std::optional<std::uint64_t> extract_hashed(std::uint64_t h,
+                                              std::uint64_t key) {
+    const std::uint8_t fp = fp_of(h);
+    Bucket* home = &main_[h & mask_];
+    const std::uint64_t hh = lock_bucket(home);
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        const SlotState st = hdr::slot_state(bh, i);
+        if (st == SlotState::kEmpty) continue;
+        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        const std::uint64_t old = b->slots[i].value;
+        const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kEmpty);
+        if (b == home) {
+          unlock_bucket(home, nh);
+        } else {
+          S::store_release(&b->header, hdr::bump_version(nh));
+          unlock_bucket(home, hh);
+        }
+        return old;
+      }
+      if (b->link == 0) break;
+      b = link_at(b->link);
+      bh = b->header;
+    }
+    unlock_bucket(home, hh);
+    return std::nullopt;
+  }
+
+  Options opts_;
+  std::size_t mask_ = 0;
+  Bucket* main_ = nullptr;
+  Hasher hash_{};
+
+  Bucket* chunk0_ = nullptr;  // initial link pool, sized by link_ratio
+  std::size_t chunk0_count_ = 0;
+  std::atomic<Bucket*> grow_chunks_[kMaxGrowChunks];
+  std::atomic<std::uint64_t> link_capacity_{0};
+  std::atomic<std::uint64_t> link_bump_{0};
+  std::mutex grow_mu_;
+};
+
+/// The paper's default configuration: 8-byte values inlined in the bucket.
+using InlinedMap = DLHT;
+
+/// Out-of-line values: the table stores a pointer into a pool allocator.
+/// Deletes retire blocks; gc_checkpoint() reclaims them (stand-in for the
+/// paper's per-thread epoch scheme until the resize PR lands).
+template <class Alloc = PoolAllocator>
+class AllocatorMap {
+ public:
+  explicit AllocatorMap(const Options& o) : opts_(o), core_(o) {}
+
+  AllocatorMap(const AllocatorMap&) = delete;
+  AllocatorMap& operator=(const AllocatorMap&) = delete;
+
+  bool insert(std::uint64_t key, const void* data, std::size_t len) {
+    if (fixed() && len > opts_.fixed_value_size) return false;  // no silent truncation
+    const std::size_t block_len = block_size(len);
+    char* blk = static_cast<char*>(pool_.allocate(block_len));
+    char* dst = blk;
+    if (!fixed()) {
+      const std::uint64_t len64 = len;
+      std::memcpy(blk, &len64, 8);
+      dst += 8;
+    }
+    std::memcpy(dst, data, len);
+    if (core_.insert(key, reinterpret_cast<std::uintptr_t>(blk))) return true;
+    pool_.deallocate(blk, block_len);
+    return false;
+  }
+
+  const char* get_ptr(std::uint64_t key) const {
+    const auto v = core_.get(key);
+    if (!v) return nullptr;
+    const char* blk = reinterpret_cast<const char*>(
+        static_cast<std::uintptr_t>(*v));
+    return fixed() ? blk : blk + 8;
+  }
+
+  bool erase(std::uint64_t key) {
+    const auto v = core_.extract(key);
+    if (!v) return false;
+    std::lock_guard<std::mutex> g(retire_mu_);
+    retired_.push_back(*v);
+    return true;
+  }
+
+  void gc_checkpoint() {
+    std::vector<std::uint64_t> dead;
+    {
+      std::lock_guard<std::mutex> g(retire_mu_);
+      dead.swap(retired_);
+    }
+    for (const std::uint64_t v : dead) {
+      char* blk = reinterpret_cast<char*>(static_cast<std::uintptr_t>(v));
+      std::size_t len = 0;
+      if (!fixed()) {
+        std::uint64_t len64;
+        std::memcpy(&len64, blk, 8);
+        len = static_cast<std::size_t>(len64);
+      }
+      pool_.deallocate(blk, block_size(len));
+    }
+  }
+
+ private:
+  bool fixed() const { return opts_.fixed_value_size != 0; }
+  std::size_t block_size(std::size_t len) const {
+    return fixed() ? opts_.fixed_value_size : len + 8;
+  }
+
+  Options opts_;
+  DLHT core_;
+  mutable Alloc pool_;
+  std::mutex retire_mu_;
+  std::vector<std::uint64_t> retired_;
+};
+
+}  // namespace dlht

@@ -1,0 +1,88 @@
+// Atomic primitives on raw words, parameterized on whether the table is
+// shared. Sync<true> compiles to lock cmpxchg / cmpxchg16b; Sync<false> is
+// the single-thread specialization the paper uses to quantify atomics cost
+// (micro_ops BM_SingleThreadStoreVsCas).
+//
+// The table deliberately stores plain std::uint64_t words (not std::atomic)
+// so the same bucket bytes can be read optimistically and CASed, and so
+// benches can stack-allocate headers/slots.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace dlht {
+
+/// One key/value pair. 16 bytes so a 64-byte bucket holds three of them
+/// next to an 8-byte header and a 4-byte link. Call sites that dw-CAS a
+/// Slot must 16-byte-align it (cmpxchg16b requirement).
+struct Slot {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+static_assert(sizeof(Slot) == 16, "Slot must be two words");
+
+template <bool kConcurrent>
+struct Sync;
+
+template <>
+struct Sync<true> {
+  static bool cas(std::uint64_t* p, std::uint64_t expected,
+                  std::uint64_t desired) {
+    return __atomic_compare_exchange_n(p, &expected, desired,
+                                       /*weak=*/false, __ATOMIC_ACQ_REL,
+                                       __ATOMIC_ACQUIRE);
+  }
+
+  /// Double-width CAS of a whole Slot (key+value published atomically).
+  static bool dwcas(Slot* p, Slot expected, Slot desired) {
+    unsigned __int128 e, d;
+    std::memcpy(&e, &expected, 16);
+    std::memcpy(&d, &desired, 16);
+    auto* t = reinterpret_cast<unsigned __int128*>(p);
+    return __atomic_compare_exchange_n(t, &e, d, /*weak=*/false,
+                                       __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+  }
+
+  static std::uint64_t load_acquire(const std::uint64_t* p) {
+    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+  }
+  static void store_release(std::uint64_t* p, std::uint64_t v) {
+    __atomic_store_n(p, v, __ATOMIC_RELEASE);
+  }
+  static std::uint64_t load_relaxed(const std::uint64_t* p) {
+    return __atomic_load_n(p, __ATOMIC_RELAXED);
+  }
+  static void store_relaxed(std::uint64_t* p, std::uint64_t v) {
+    __atomic_store_n(p, v, __ATOMIC_RELAXED);
+  }
+};
+
+template <>
+struct Sync<false> {
+  static bool cas(std::uint64_t* p, std::uint64_t expected,
+                  std::uint64_t desired) {
+    if (*p != expected) return false;
+    *p = desired;
+    return true;
+  }
+  static bool dwcas(Slot* p, Slot expected, Slot desired) {
+    if (p->key != expected.key || p->value != expected.value) return false;
+    *p = desired;
+    return true;
+  }
+  static std::uint64_t load_acquire(const std::uint64_t* p) { return *p; }
+  static void store_release(std::uint64_t* p, std::uint64_t v) { *p = v; }
+  static std::uint64_t load_relaxed(const std::uint64_t* p) { return *p; }
+  static void store_relaxed(std::uint64_t* p, std::uint64_t v) { *p = v; }
+};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  __atomic_thread_fence(__ATOMIC_SEQ_CST);
+#endif
+}
+
+}  // namespace dlht

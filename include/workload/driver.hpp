@@ -1,0 +1,79 @@
+// Timed multi-thread run loop shared by every figure bench.
+//
+// run_for spawns N pinned workers, releases them together, lets them hammer
+// the map for a wall-clock interval, and reports aggregate Mreq/s. The
+// worker factory is called once per thread (with the thread id) and returns
+// a closure; each closure invocation performs a small burst of requests and
+// returns how many it completed, so the stop flag is polled at op (or
+// batch) granularity.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/topology.hpp"
+
+namespace dlht::workload {
+
+struct RunSpec {
+  int threads = 1;
+  double seconds = 0.3;
+  bool pin = true;
+};
+
+struct RunResult {
+  std::uint64_t total_ops = 0;
+  double elapsed_sec = 0;
+  double mreqs_per_sec = 0;
+};
+
+template <class WorkerFactory>
+RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
+  const int n = spec.threads > 0 ? spec.threads : 1;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(n), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      if (spec.pin) pin_thread(static_cast<unsigned>(tid) % hardware_threads());
+      auto body = make_worker(tid);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) done += body();
+      ops[static_cast<std::size_t>(tid)] = done;
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < n) std::this_thread::yield();
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(spec.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& t : threads) t.join();
+
+  RunResult r;
+  for (const std::uint64_t c : ops) r.total_ops += c;
+  r.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
+  if (r.elapsed_sec > 0) {
+    r.mreqs_per_sec =
+        static_cast<double>(r.total_ops) / r.elapsed_sec / 1e6;
+  }
+  return r;
+}
+
+/// Prepopulate a map with keys 1..keys (value = key). Key 0 is left free so
+/// workloads can use `gen.next() + 1` and baselines can reserve 0 as empty.
+template <class M>
+void populate(M& m, std::uint64_t keys) {
+  for (std::uint64_t k = 1; k <= keys; ++k) m.insert(k, k);
+}
+
+}  // namespace dlht::workload

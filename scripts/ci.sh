@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, sanitize, and smoke-run the bench binaries
+# so they cannot silently rot. Usable locally: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== configure + build (Release) ==="
+cmake -B build -S .
+cmake --build build -j
+
+echo "=== ctest ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== bench smoke ==="
+./build/micro_ops --keys 65536 --ms 100
+DLHT_BENCH_THREADS=1,2 ./build/fig01_overview --keys 16384 --ms 20 > /dev/null
+echo "fig01 smoke ok"
+
+echo "=== ASan/UBSan build + tests ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j --target dlht_test
+./build-asan/dlht_test
+
+echo "CI OK"

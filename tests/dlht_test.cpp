@@ -1,0 +1,287 @@
+// Tier-1 correctness tests for the DLHT core. No framework: each check
+// prints its name, asserts loudly on failure, and main returns nonzero if
+// anything failed, so the binary works under ctest and ASan alike.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dlht/dlht.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+#define CHECK(cond)                                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      ++g_failures;                                                         \
+    }                                                                       \
+  } while (0)
+
+using namespace dlht;
+
+// Small bin count so link-bucket chains are exercised hard.
+Options tiny_options() {
+  Options o;
+  o.initial_bins = 256;
+  o.link_ratio = 0.25;
+  return o;
+}
+
+void test_put_get_delete() {
+  std::puts("test_put_get_delete");
+  InlinedMap m(tiny_options());
+  constexpr std::uint64_t kN = 20000;
+
+  // Key 0 must be a legal key (no sentinel leaks into the API).
+  CHECK(m.insert(0, 42));
+  CHECK(m.get(0).value_or(0) == 42);
+  CHECK(m.erase(0));
+  CHECK(!m.get(0).has_value());
+
+  for (std::uint64_t k = 1; k <= kN; ++k) CHECK(m.insert(k, k * 3));
+  for (std::uint64_t k = 1; k <= kN; ++k) CHECK(m.get(k).value_or(0) == k * 3);
+  CHECK(!m.get(kN + 1).has_value());
+
+  // Duplicate insert fails; put updates in place.
+  CHECK(!m.insert(7, 99));
+  CHECK(m.get(7).value_or(0) == 7 * 3);
+  CHECK(m.put(7, 99));
+  CHECK(m.get(7).value_or(0) == 99);
+  CHECK(m.put(7, 7 * 3));  // restore so the sweeps below stay uniform
+
+  // Delete every even key; odd keys survive; deleted slots are reusable.
+  for (std::uint64_t k = 2; k <= kN; k += 2) CHECK(m.erase(k));
+  for (std::uint64_t k = 2; k <= kN; k += 2) CHECK(!m.get(k).has_value());
+  for (std::uint64_t k = 1; k <= kN; k += 2) CHECK(m.get(k).value_or(0) == k * 3);
+  for (std::uint64_t k = 2; k <= kN; k += 2) CHECK(m.insert(k, k + 1));
+  for (std::uint64_t k = 2; k <= kN; k += 2) CHECK(m.get(k).value_or(0) == k + 1);
+
+  CHECK(!m.erase(kN + 1));
+}
+
+void test_shadow_insert() {
+  std::puts("test_shadow_insert");
+  InlinedMap m(tiny_options());
+  CHECK(m.insert_shadow(5, 50));
+  CHECK(!m.get(5).has_value());   // invisible until committed
+  CHECK(!m.insert(5, 51));        // but the slot is reserved
+  CHECK(m.commit_shadow(5));
+  CHECK(m.get(5).value_or(0) == 50);
+  CHECK(!m.commit_shadow(5));     // already committed
+  CHECK(m.erase(5));
+}
+
+void test_batch_matches_scalar() {
+  std::puts("test_batch_matches_scalar");
+  InlinedMap batched(tiny_options());
+  InlinedMap scalar(tiny_options());
+  Xoshiro256 rng(1234);
+  constexpr std::size_t kOps = 30000;
+  constexpr std::size_t kBatch = 24;
+  constexpr std::uint64_t kSpace = 4000;
+
+  std::vector<InlinedMap::Request> reqs(kBatch);
+  std::vector<InlinedMap::Reply> reps(kBatch);
+  for (std::size_t done = 0; done < kOps; done += kBatch) {
+    for (auto& rq : reqs) {
+      const std::uint64_t k = rng.next_below(kSpace);
+      switch (rng.next_below(4)) {
+        case 0: rq = {OpType::kGet, k, 0, k}; break;
+        case 1: rq = {OpType::kPut, k, rng(), 0}; break;
+        case 2: rq = {OpType::kInsert, k, rng(), 0}; break;
+        default: rq = {OpType::kDelete, k, 0, 0}; break;
+      }
+    }
+    batched.execute_batch(reqs.data(), reps.data(), kBatch);
+    // Replay the same ops scalar-style and compare each reply.
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const auto& rq = reqs[i];
+      const auto& rp = reps[i];
+      switch (rq.op) {
+        case OpType::kGet: {
+          const auto v = scalar.get(rq.key);
+          CHECK(rp.user == rq.user);
+          CHECK((rp.status == Status::kOk) == v.has_value());
+          if (v) CHECK(rp.value == *v);
+          break;
+        }
+        case OpType::kPut: {
+          const bool existed = scalar.put(rq.key, rq.value);
+          CHECK(rp.status == (existed ? Status::kExists : Status::kOk));
+          break;
+        }
+        case OpType::kInsert: {
+          const bool inserted = scalar.insert(rq.key, rq.value);
+          CHECK(rp.status == (inserted ? Status::kOk : Status::kExists));
+          break;
+        }
+        case OpType::kDelete: {
+          const auto v = scalar.extract(rq.key);
+          CHECK((rp.status == Status::kOk) == v.has_value());
+          if (v) CHECK(rp.value == *v);
+          break;
+        }
+      }
+    }
+  }
+  // Final table contents must agree too.
+  for (std::uint64_t k = 0; k < kSpace; ++k) {
+    const auto a = batched.get(k);
+    const auto b = scalar.get(k);
+    CHECK(a.has_value() == b.has_value());
+    if (a && b) CHECK(*a == *b);
+  }
+
+  // get_batch agrees with scalar get.
+  std::vector<std::uint64_t> keys(kSpace);
+  std::vector<InlinedMap::Reply> out(kSpace);
+  for (std::uint64_t k = 0; k < kSpace; ++k) keys[k] = k;
+  batched.get_batch(keys.data(), out.data(), kSpace);
+  for (std::uint64_t k = 0; k < kSpace; ++k) {
+    const auto v = batched.get(k);
+    CHECK((out[k].status == Status::kOk) == v.has_value());
+    if (v) CHECK(out[k].value == *v);
+  }
+}
+
+// 4 threads hammer one table: each owns a disjoint key range and runs
+// insert/put/erase cycles while validating its own reads; a fifth pattern
+// (thread 0 also batch-reads everyone's ranges) checks cross-thread
+// visibility invariants. After joining, per-range state must match exactly
+// what the owner last wrote — any lost update fails the final sweep.
+void test_concurrent_stress() {
+  std::puts("test_concurrent_stress");
+  Options o;
+  o.initial_bins = 1024;  // force contention and chaining
+  o.link_ratio = 0.5;
+  InlinedMap m(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kRange = 8000;
+  constexpr int kRounds = 30;
+  std::atomic<int> failures{0};
+
+  auto owner = [&](int tid) {
+    const std::uint64_t base = 1 + static_cast<std::uint64_t>(tid) * kRange;
+    Xoshiro256 rng(splitmix64(77 + tid));
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::uint64_t i = 0; i < kRange; ++i) {
+        if (!m.insert(base + i, (base + i) * 2 + 1)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < kRange; ++i) {
+        const auto v = m.get(base + i);
+        if (!v || *v % 2 == 0) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < kRange; ++i) {
+        m.put(base + i, (base + i) * 4 + 1);
+      }
+      // Erase a rotating half so slot reuse and link chains churn.
+      const std::uint64_t half = kRange / 2;
+      const std::uint64_t off = (r & 1) ? half : 0;
+      for (std::uint64_t i = 0; i < half; ++i) {
+        if (!m.erase(base + off + i)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < half; ++i) {
+        if (m.get(base + off + i).has_value()) failures.fetch_add(1);
+      }
+      // Re-erase the surviving half before the next round reinserts all.
+      for (std::uint64_t i = 0; i < half; ++i) {
+        const std::uint64_t k = base + (off ? 0 : half) + i;
+        const auto v = m.get(k);
+        if (!v || *v % 2 == 0) failures.fetch_add(1);
+        if (!m.erase(k)) failures.fetch_add(1);
+      }
+    }
+    // Leave a known final state: owner's keys all present with value*8+1.
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      m.put(base + i, (base + i) * 8 + 1);
+    }
+  };
+
+  // A pure reader thread: every observed value must satisfy the odd-value
+  // invariant all writers maintain (catches torn/stale slot reads).
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Xoshiro256 rng(999);
+    std::vector<std::uint64_t> ks(24);
+    std::vector<InlinedMap::Reply> out(24);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& k : ks) k = 1 + rng.next_below(kThreads * kRange);
+      m.get_batch(ks.data(), out.data(), ks.size());
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        if (out[i].status == Status::kOk && out[i].value % 2 == 0) {
+          failures.fetch_add(1);
+        }
+        if (out[i].status == Status::kOk && out[i].value / 8 > ks[i]) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) writers.emplace_back(owner, t);
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = 1 + static_cast<std::uint64_t>(t) * kRange;
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      const auto v = m.get(base + i);
+      if (!v || *v != (base + i) * 8 + 1) failures.fetch_add(1);
+    }
+  }
+  CHECK(failures.load() == 0);
+}
+
+void test_allocator_map() {
+  std::puts("test_allocator_map");
+  Options o;
+  o.initial_bins = 256;
+  o.fixed_value_size = 64;
+  AllocatorMap<> m(o);
+  char blob[64];
+  for (int i = 0; i < 64; ++i) blob[i] = static_cast<char>(i);
+  CHECK(m.insert(1, blob, sizeof blob));
+  CHECK(!m.insert(1, blob, sizeof blob));
+  const char* p = m.get_ptr(1);
+  CHECK(p != nullptr && p[10] == 10 && p[63] == 63);
+  CHECK(m.erase(1));
+  CHECK(m.get_ptr(1) == nullptr);
+  m.gc_checkpoint();
+
+  Options vo;
+  vo.initial_bins = 256;
+  AllocatorMap<> vm(vo);
+  const char msg[] = "variable-size value";
+  CHECK(vm.insert(2, msg, sizeof msg));
+  const char* q = vm.get_ptr(2);
+  CHECK(q != nullptr && std::string_view(q) == msg);
+  CHECK(vm.erase(2));
+  vm.gc_checkpoint();
+}
+
+}  // namespace
+
+int main() {
+  test_put_get_delete();
+  test_shadow_insert();
+  test_batch_matches_scalar();
+  test_concurrent_stress();
+  test_allocator_map();
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::puts("all tests passed");
+  return 0;
+}
