@@ -11,6 +11,7 @@
 // --ms toward the paper's configuration (100M keys, multi-second points).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,14 @@
 #include "workload/driver.hpp"
 
 namespace dlht::bench {
+
+/// Monotonic nanoseconds, for benches that bucket throughput over time.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Paper default geometry, shared by the figure benches and micro_ops:
 /// bins ~ 2/3 of keys (67M bins for 100M keys), link buckets bins/8.

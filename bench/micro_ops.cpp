@@ -203,7 +203,7 @@ static void BM_DlhtAllocatorInsertErase(benchmark::State& state) {
   for (auto _ : state) {
     map.insert(k, blob, 64);
     map.erase(k);
-    if ((k & 127) == 0) map.gc_checkpoint();
+    if ((k & 127) == 0) map.quiesce();
     ++k;
   }
 }
@@ -239,13 +239,13 @@ static void BM_DlhtShadowCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_DlhtShadowCommit);
 
-static void BM_EpochGcCheckpoint(benchmark::State& state) {
+static void BM_EpochQuiesce(benchmark::State& state) {
   AllocatorMap<> map(Options{.initial_bins = 256, .fixed_value_size = 8});
   for (auto _ : state) {
-    map.gc_checkpoint();
+    map.quiesce();
   }
 }
-BENCHMARK(BM_EpochGcCheckpoint);
+BENCHMARK(BM_EpochQuiesce);
 
 static void BM_MicaGet(benchmark::State& state) {
   static baselines::MicaLike<> map(1 << 16);

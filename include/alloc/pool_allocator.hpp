@@ -28,6 +28,7 @@ class PoolAllocator {
   }
 
   void* allocate(std::size_t n) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
     const int c = size_class(n);
     if (c < 0) return std::malloc(n);
     SizeClass& sc = classes_[c];
@@ -56,6 +57,7 @@ class PoolAllocator {
 
   void deallocate(void* p, std::size_t n) {
     if (p == nullptr) return;
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
     const int c = size_class(n);
     if (c < 0) {
       std::free(p);
@@ -65,6 +67,12 @@ class PoolAllocator {
     SpinGuard g(sc.lock);
     *static_cast<void**>(p) = sc.free_head;
     sc.free_head = p;
+  }
+
+  /// Blocks handed out and not yet returned. Tests use this to prove the
+  /// epoch scheme actually reclaims retired blocks (not just defers them).
+  std::int64_t outstanding_blocks() const {
+    return outstanding_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -97,6 +105,7 @@ class PoolAllocator {
   };
 
   SizeClass classes_[kClasses];
+  std::atomic<std::int64_t> outstanding_{0};
   std::mutex slabs_mu_;
   std::vector<void*> slabs_;
 };

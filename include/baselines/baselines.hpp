@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -618,5 +619,109 @@ class Locked {
 
 template <class Hash = XxMixHash>
 using TbbLike = Locked<Hash>;
+
+/// A growing open-addressing table with a *blocking* resize: writers hold a
+/// shared lock, and whichever inserter trips the load trigger takes the
+/// exclusive lock and rehashes alone while every other thread stalls. This
+/// is the mechanism DLHT's non-blocking shadow migration is compared
+/// against in the population figure (Fig. 7): past a few threads the serial
+/// stop-the-world rehash dominates and population throughput flatlines.
+template <class Hash = XxMixHash>
+class BlockingGrowTable {
+ public:
+  explicit BlockingGrowTable(std::uint64_t capacity)
+      : cap_(ceil_pow2(capacity < 64 ? 64 : capacity)),
+        cells_(std::make_unique<Cell[]>(cap_)) {}
+
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    for (;;) {
+      bool placed = false;
+      {
+        std::shared_lock<std::shared_mutex> g(mu_);
+        const std::size_t mask = cap_ - 1;
+        std::size_t i = Hash{}(k) & mask;
+        for (std::size_t probes = 0; probes <= mask; ++probes) {
+          std::uint64_t cur = cells_[i].key.load(std::memory_order_acquire);
+          if (cur == k) {
+            cells_[i].value.store(v, std::memory_order_release);
+            return false;
+          }
+          if (cur == 0) {
+            if (cells_[i].key.compare_exchange_strong(
+                    cur, k, std::memory_order_acq_rel)) {
+              cells_[i].value.store(v, std::memory_order_release);
+              if ((size_.fetch_add(1, std::memory_order_relaxed) + 1) * 10 >
+                  cap_ * 6) {
+                want_grow_.store(true, std::memory_order_relaxed);
+              }
+              placed = true;
+              break;
+            }
+            if (cur == k) {
+              cells_[i].value.store(v, std::memory_order_release);
+              return false;
+            }
+          }
+          i = (i + 1) & mask;
+        }
+      }
+      if (want_grow_.load(std::memory_order_relaxed)) grow();
+      if (placed) return true;
+      // Table was full before the trigger fired (pathological): grow and
+      // retry the probe from scratch.
+    }
+  }
+
+  bool put(std::uint64_t k, std::uint64_t v) { return !insert(k, v); }
+
+  std::optional<std::uint64_t> get(std::uint64_t k) const {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = Hash{}(k) & mask;
+    for (std::size_t probes = 0; probes <= mask; ++probes) {
+      const std::uint64_t cur = cells_[i].key.load(std::memory_order_acquire);
+      if (cur == 0) return std::nullopt;
+      if (cur == k) return cells_[i].value.load(std::memory_order_acquire);
+      i = (i + 1) & mask;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// The blocking part: one thread rehashes every cell into a double-size
+  /// array while holding the exclusive lock; everyone else waits.
+  void grow() {
+    std::unique_lock<std::shared_mutex> g(mu_);
+    if (!want_grow_.load(std::memory_order_relaxed)) return;  // raced: done
+    const std::size_t ncap = cap_ * 2;
+    auto ncells = std::make_unique<Cell[]>(ncap);
+    const std::size_t nmask = ncap - 1;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      const std::uint64_t k = cells_[i].key.load(std::memory_order_relaxed);
+      if (k == 0) continue;
+      std::size_t j = Hash{}(k) & nmask;
+      while (ncells[j].key.load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & nmask;
+      }
+      ncells[j].key.store(k, std::memory_order_relaxed);
+      ncells[j].value.store(cells_[i].value.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    cells_ = std::move(ncells);
+    cap_ = ncap;
+    want_grow_.store(false, std::memory_order_relaxed);
+  }
+
+  mutable std::shared_mutex mu_;
+  std::size_t cap_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> size_{0};
+  std::atomic<bool> want_grow_{false};
+};
 
 }  // namespace dlht::baselines

@@ -1,6 +1,7 @@
 // Per-thread random number generation for the workloads and benches.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace dlht {
@@ -48,6 +49,84 @@ class Xoshiro256 {
   }
 
   std::uint64_t s_[4];
+};
+
+/// Zipf(θ) rank sampler over [0, n) — Gray et al.'s "quickly generating
+/// billion-record synthetic databases" method, the same formulation YCSB
+/// uses. Rank 0 is the hottest key; θ→0 degenerates to uniform, θ=0.99 is
+/// the YCSB default. The formulation is only defined for 0 ≤ θ < 1, so θ
+/// is clamped into that range (θ=1 would make alpha_ infinite and the
+/// final double→int cast undefined). Construction is O(n) (zeta sum);
+/// sampling is O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : rng_(seed), n_(n != 0 ? n : 1),
+        theta_(theta < 0.0 ? 0.0 : (theta > 0.999999 ? 0.999999 : theta)) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Zipf-distributed rank in [0, n).
+  std::uint64_t next() {
+    const double u =
+        static_cast<double>(rng_() >> 11) * 0x1.0p-53;  // uniform [0,1)
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const std::uint64_t r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r < n_ ? r : n_ - 1;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Xoshiro256 rng_;
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Zipf ranks scrambled over the key space so hot keys are spread across
+/// the table instead of clustered in adjacent bins (YCSB's "scrambled
+/// zipfian"); this is what the skew workloads (Fig. 13) should draw from.
+class ScrambledZipf {
+ public:
+  ScrambledZipf(std::uint64_t n, double theta, std::uint64_t seed)
+      : zipf_(n, theta, seed), n_(n != 0 ? n : 1) {}
+
+  std::uint64_t next() {
+    // fmix64 is a bijection on 64-bit ints, so ranks never collide before
+    // the final fold; the fold keeps the result inside the key space.
+    std::uint64_t k = zipf_.next();
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k % n_;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+ private:
+  ZipfGenerator zipf_;
+  std::uint64_t n_;
 };
 
 }  // namespace dlht

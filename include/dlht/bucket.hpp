@@ -5,7 +5,8 @@
 //   [ 0..23]  three 8-bit fingerprints, one per slot
 //   [24..29]  three 2-bit slot states (empty / valid / shadow)
 //   [30]      writer lock bit
-//   [31]      reserved
+//   [31]      migrated bit — this bucket's contents moved to the shadow
+//             table during an online resize; readers must re-probe there
 //   [32..63]  32-bit version, bumped by every mutation of the bucket
 //
 // A Get reads the header once, probes matching fingerprints, and re-reads
@@ -54,6 +55,13 @@ constexpr bool locked(std::uint64_t h) { return (h & kLockBit) != 0; }
 constexpr std::uint64_t with_lock(std::uint64_t h) { return h | kLockBit; }
 constexpr std::uint64_t without_lock(std::uint64_t h) {
   return h & ~kLockBit;
+}
+
+constexpr std::uint64_t kMigratedBit = 1ull << 31;
+
+constexpr bool migrated(std::uint64_t h) { return (h & kMigratedBit) != 0; }
+constexpr std::uint64_t with_migrated(std::uint64_t h) {
+  return h | kMigratedBit;
 }
 
 constexpr std::uint32_t version(std::uint64_t h) {

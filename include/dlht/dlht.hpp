@@ -14,6 +14,13 @@
 //  * The batched API software-pipelines N independent requests in stages
 //    (hash all -> prefetch all buckets -> probe all) so DRAM latency
 //    overlaps across the batch instead of serializing per request.
+//  * The bucket array lives in a TableInstance pinned by readers through
+//    per-thread epochs (epoch.hpp). Resizing is online and non-blocking:
+//    a coordinator publishes a double-size shadow instance and writers
+//    cooperatively migrate buckets into it (per-bucket migrated bits;
+//    Gets re-probe the shadow on redirect; mutations land in the shadow
+//    after migrating their home bucket). The drained instance is retired
+//    through the epoch scheme, never freed under a live reader.
 #pragma once
 
 #include <atomic>
@@ -32,6 +39,7 @@
 
 #include "alloc/pool_allocator.hpp"
 #include "dlht/bucket.hpp"
+#include "dlht/epoch.hpp"
 #include "dlht/hash.hpp"
 #include "dlht/sync.hpp"
 
@@ -40,8 +48,10 @@ namespace dlht {
 struct Options {
   std::size_t initial_bins = 1 << 16;  // main buckets (rounded up to pow2)
   double link_ratio = 0.125;           // link-bucket pool as fraction of bins
-  unsigned max_threads = 64;           // sizes future per-thread epoch slots
+  unsigned max_threads = 64;           // sizes the per-thread epoch slots
   std::size_t fixed_value_size = 0;    // AllocatorMap: 0 = variable-size
+  double max_load_factor = 0.75;       // resize when size > lf * (3 * bins)
+  std::size_t resize_chunk_bins = 512; // bins one helper migrates per claim
 };
 
 enum class OpType : std::uint8_t { kGet = 0, kPut, kInsert, kDelete };
@@ -64,49 +74,65 @@ class DLHT {
     std::uint64_t user = 0;
   };
 
-  explicit DLHT(const Options& o) : opts_(o) {
-    const std::size_t bins =
-        ceil_pow2(o.initial_bins < 16 ? std::size_t{16} : o.initial_bins);
-    mask_ = bins - 1;
-    main_ = alloc_buckets(bins);
-    double ratio = o.link_ratio;
-    if (ratio < 0.0) ratio = 0.0;
-    chunk0_count_ = static_cast<std::size_t>(static_cast<double>(bins) * ratio);
-    if (chunk0_count_ < 1024) chunk0_count_ = 1024;
-    chunk0_ = alloc_buckets(chunk0_count_);
-    link_capacity_.store(chunk0_count_, std::memory_order_relaxed);
-    for (auto& c : grow_chunks_) c.store(nullptr, std::memory_order_relaxed);
+  explicit DLHT(const Options& o)
+      : opts_(o), epoch_(o.max_threads) {
+    cur_.store(new TableInstance(o.initial_bins, o.link_ratio),
+               std::memory_order_release);
   }
 
   ~DLHT() {
-    std::free(main_);
-    std::free(chunk0_);
-    for (auto& c : grow_chunks_) {
-      if (Bucket* p = c.load(std::memory_order_relaxed)) std::free(p);
-    }
+    TableInstance* t = cur_.load(std::memory_order_relaxed);
+    if (TableInstance* n = t->next.load(std::memory_order_relaxed)) delete n;
+    delete t;
+    // epoch_'s destructor drains instances retired by completed resizes.
   }
 
   DLHT(const DLHT&) = delete;
   DLHT& operator=(const DLHT&) = delete;
 
-  std::size_t bins() const { return mask_ + 1; }
+  /// Current main-bucket count; grows across resizes.
+  std::size_t bins() const {
+    return cur_.load(std::memory_order_acquire)->mask_ + 1;
+  }
   const Options& options() const { return opts_; }
+
+  /// Completed shadow-table migrations since construction.
+  std::uint64_t resizes_completed() const {
+    return resizes_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Sharded entry count: exact once all mutators are quiescent.
+  std::int64_t approx_size() const {
+    std::int64_t s = 0;
+    for (const Shard& sh : shards_) {
+      s += sh.count.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  EpochManager& epoch() const { return epoch_; }
 
   // ------------------------------------------------------------ scalar ops
 
   std::optional<std::uint64_t> get(std::uint64_t key) const {
-    return get_hashed(hash_(key), key);
+    EpochManager::Guard g(epoch_);
+    Reply rp;
+    get_on(cur_.load(std::memory_order_acquire), hash_(key), key, rp);
+    if (rp.status == Status::kOk) return rp.value;
+    return std::nullopt;
   }
 
   /// Insert if absent. Returns false if the key already exists.
   bool insert(std::uint64_t key, std::uint64_t value) {
-    return mutate_insert(hash_(key), key, value, /*upsert=*/false,
+    EpochManager::Guard g(epoch_);
+    return mutate_pinned(hash_(key), key, value, /*upsert=*/false,
                          SlotState::kValid) == Status::kOk;
   }
 
   /// Upsert. Returns true if an existing value was overwritten.
   bool put(std::uint64_t key, std::uint64_t value) {
-    return mutate_insert(hash_(key), key, value, /*upsert=*/true,
+    EpochManager::Guard g(epoch_);
+    return mutate_pinned(hash_(key), key, value, /*upsert=*/true,
                          SlotState::kValid) == Status::kExists;
   }
 
@@ -115,42 +141,25 @@ class DLHT {
   /// Delete, returning the removed value. The slot is freed in place (no
   /// tombstone) and immediately reusable by later inserts.
   std::optional<std::uint64_t> extract(std::uint64_t key) {
-    return extract_hashed(hash_(key), key);
+    EpochManager::Guard g(epoch_);
+    return extract_pinned(hash_(key), key);
   }
 
   /// Two-phase insert: reserve a slot invisible to Gets...
   bool insert_shadow(std::uint64_t key, std::uint64_t value) {
-    return mutate_insert(hash_(key), key, value, /*upsert=*/false,
+    EpochManager::Guard g(epoch_);
+    return mutate_pinned(hash_(key), key, value, /*upsert=*/false,
                          SlotState::kShadow) == Status::kOk;
   }
 
   /// ...then flip it visible once the caller's side effects are durable.
   bool commit_shadow(std::uint64_t key) {
+    EpochManager::Guard g(epoch_);
     const std::uint64_t h = hash_(key);
-    const std::uint8_t fp = fp_of(h);
-    Bucket* home = &main_[h & mask_];
-    std::uint64_t hh = lock_bucket(home);
-    Bucket* b = home;
-    std::uint64_t bh = hh;
     for (;;) {
-      for (int i = 0; i < kSlotsPerBucket; ++i) {
-        if (hdr::slot_state(bh, i) != SlotState::kShadow) continue;
-        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
-        const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kValid);
-        if (b == home) {
-          unlock_bucket(home, nh);
-        } else {
-          S::store_release(&b->header, hdr::bump_version(nh));
-          unlock_bucket(home, hh);
-        }
-        return true;
-      }
-      if (b->link == 0) break;
-      b = link_at(b->link);
-      bh = b->header;
+      const int r = try_commit_on(writer_table(h), h, key);
+      if (r >= 0) return r == 1;
     }
-    unlock_bucket(home, hh);
-    return false;
   }
 
   // ----------------------------------------------------------- batched ops
@@ -158,16 +167,27 @@ class DLHT {
   /// Batched Get: hash + prefetch every home bucket up front, then probe.
   /// Requests that chain into link buckets prefetch the next line and are
   /// revisited on the next sweep, so link-chain misses also overlap.
+  /// During a migration the chunk falls back to migration-aware scalar
+  /// probes (correctness first; the window is transient).
   void get_batch(const std::uint64_t* keys, Reply* out, std::size_t n) const {
+    EpochManager::Guard g(epoch_);
     constexpr std::size_t kChunk = 64;
     const Bucket* cur[kChunk];
     std::uint8_t fp[kChunk];
     std::uint16_t active[kChunk];
     for (std::size_t base = 0; base < n; base += kChunk) {
       const std::size_t m = n - base < kChunk ? n - base : kChunk;
+      const TableInstance* t = cur_.load(std::memory_order_acquire);
+      if (t->next.load(std::memory_order_acquire) != nullptr) {
+        for (std::size_t j = 0; j < m; ++j) {
+          const std::uint64_t k = keys[base + j];
+          get_on(t, hash_(k), k, out[base + j]);
+        }
+        continue;
+      }
       for (std::size_t j = 0; j < m; ++j) {
         const std::uint64_t h = hash_(keys[base + j]);
-        cur[j] = &main_[h & mask_];
+        cur[j] = &t->main_[h & t->mask_];
         fp[j] = fp_of(h);
         __builtin_prefetch(cur[j], 0, 3);
         active[j] = static_cast<std::uint16_t>(j);
@@ -175,10 +195,16 @@ class DLHT {
       std::size_t na = m;
       while (na > 0) {
         std::size_t keep = 0;
-        for (std::size_t t = 0; t < na; ++t) {
-          const std::size_t j = active[t];
+        for (std::size_t s = 0; s < na; ++s) {
+          const std::size_t j = active[s];
           Reply& rp = out[base + j];
-          const Bucket* next = probe_bucket(cur[j], fp[j], keys[base + j], rp);
+          const std::uint64_t k = keys[base + j];
+          const Bucket* next = probe_bucket(t, cur[j], fp[j], k, rp);
+          if (next == &kRedirectBucket) {
+            // A resize started mid-pipeline: resolve this key scalar-style.
+            get_on(t, hash_(k), k, rp);
+            continue;
+          }
           if (next != nullptr) {
             cur[j] = next;
             __builtin_prefetch(next, 0, 3);
@@ -194,43 +220,67 @@ class DLHT {
   /// buckets, then execute in request order (so an insert followed by a
   /// delete of the same key in one batch behaves like the scalar sequence).
   void execute_batch(const Request* reqs, Reply* reps, std::size_t n) {
+    EpochManager::Guard g(epoch_);
     constexpr std::size_t kChunk = 64;
     std::uint64_t hs[kChunk];
     for (std::size_t base = 0; base < n; base += kChunk) {
       const std::size_t m = n - base < kChunk ? n - base : kChunk;
+      const TableInstance* t = cur_.load(std::memory_order_acquire);
       for (std::size_t j = 0; j < m; ++j) {
         hs[j] = hash_(reqs[base + j].key);
-        __builtin_prefetch(&main_[hs[j] & mask_], 1, 3);
+        __builtin_prefetch(&t->main_[hs[j] & t->mask_], 1, 3);
       }
       for (std::size_t j = 0; j < m; ++j) {
         const Request& rq = reqs[base + j];
         Reply& rp = reps[base + j];
         rp.user = rq.user;
         switch (rq.op) {
-          case OpType::kGet: {
-            const auto v = get_hashed(hs[j], rq.key);
-            rp.status = v ? Status::kOk : Status::kNotFound;
-            rp.value = v ? *v : 0;
+          case OpType::kGet:
+            get_on(cur_.load(std::memory_order_acquire), hs[j], rq.key, rp);
             break;
-          }
           case OpType::kPut:
-            rp.status = mutate_insert(hs[j], rq.key, rq.value, true,
+            rp.status = mutate_pinned(hs[j], rq.key, rq.value, true,
                                       SlotState::kValid);
             rp.value = 0;
             break;
           case OpType::kInsert:
-            rp.status = mutate_insert(hs[j], rq.key, rq.value, false,
+            rp.status = mutate_pinned(hs[j], rq.key, rq.value, false,
                                       SlotState::kValid);
             rp.value = 0;
             break;
           case OpType::kDelete: {
-            const auto v = extract_hashed(hs[j], rq.key);
+            const auto v = extract_pinned(hs[j], rq.key);
             rp.status = v ? Status::kOk : Status::kNotFound;
             rp.value = v ? *v : 0;
             break;
           }
         }
       }
+    }
+  }
+
+  /// Iterate live (valid) entries of the current table chain. Only legal
+  /// when no mutator is running; tests use it to detect lost or duplicated
+  /// keys after churn. Entries mid-migration are visited exactly once:
+  /// migrated buckets are skipped here and picked up in the shadow table.
+  template <class F>
+  void for_each(F&& f) const {
+    const TableInstance* t = cur_.load(std::memory_order_acquire);
+    while (t != nullptr) {
+      for (std::size_t idx = 0; idx <= t->mask_; ++idx) {
+        const Bucket* b = &t->main_[idx];
+        if (hdr::migrated(S::load_relaxed(&b->header))) continue;
+        while (b != nullptr) {
+          const std::uint64_t bh = S::load_relaxed(&b->header);
+          for (int i = 0; i < kSlotsPerBucket; ++i) {
+            if (hdr::slot_state(bh, i) == SlotState::kValid) {
+              f(b->slots[i].key, b->slots[i].value);
+            }
+          }
+          b = b->link != 0 ? t->link_at(b->link) : nullptr;
+        }
+      }
+      t = t->next.load(std::memory_order_acquire);
     }
   }
 
@@ -246,7 +296,8 @@ class DLHT {
     // 2 MiB alignment lets the kernel back the array with transparent huge
     // pages; without them random probes also miss the dTLB, and x86 drops
     // prefetches that need a page walk — killing the batched pipeline.
-    const std::size_t align = bytes >= (std::size_t{2} << 20) ? (std::size_t{2} << 20) : 64;
+    const std::size_t align =
+        bytes >= (std::size_t{2} << 20) ? (std::size_t{2} << 20) : 64;
     void* p = std::aligned_alloc(align, (bytes + align - 1) & ~(align - 1));
     if (p == nullptr) throw std::bad_alloc();
 #if defined(__linux__) && defined(MADV_HUGEPAGE)
@@ -256,40 +307,95 @@ class DLHT {
     return static_cast<Bucket*>(p);
   }
 
-  // ------------------------------------------------------------- link pool
+  // ------------------------------------------------------- table instance
 
-  static constexpr std::size_t kGrowChunkBuckets = std::size_t{1} << 14;
-  static constexpr std::size_t kMaxGrowChunks = 1024;
+  /// One generation of the table: the main bucket array plus its private
+  /// link-bucket pool and this generation's migration progress. Readers pin
+  /// instances via epochs; a drained instance is retired, not freed.
+  class TableInstance {
+   public:
+    static constexpr std::size_t kGrowChunkBuckets = std::size_t{1} << 14;
+    static constexpr std::size_t kMaxGrowChunks = 1024;
 
-  Bucket* link_at(std::uint32_t idx) const {
-    std::uint64_t i = idx - 1;
-    if (i < chunk0_count_) return &chunk0_[i];
-    i -= chunk0_count_;
-    Bucket* chunk =
-        grow_chunks_[i / kGrowChunkBuckets].load(std::memory_order_acquire);
-    return chunk + (i & (kGrowChunkBuckets - 1));
-  }
+    TableInstance(std::size_t bins_request, double link_ratio) {
+      const std::size_t bins =
+          ceil_pow2(bins_request < 16 ? std::size_t{16} : bins_request);
+      mask_ = bins - 1;
+      main_ = alloc_buckets(bins);
+      double ratio = link_ratio < 0.0 ? 0.0 : link_ratio;
+      chunk0_count_ =
+          static_cast<std::size_t>(static_cast<double>(bins) * ratio);
+      if (chunk0_count_ < 1024) chunk0_count_ = 1024;
+      chunk0_ = alloc_buckets(chunk0_count_);
+      link_capacity_.store(chunk0_count_, std::memory_order_relaxed);
+      for (auto& c : grow_chunks_) c.store(nullptr, std::memory_order_relaxed);
+    }
 
-  std::uint32_t alloc_link() {
-    const std::uint64_t i = link_bump_.fetch_add(1, std::memory_order_relaxed);
-    while (i >= link_capacity_.load(std::memory_order_acquire)) grow_links();
-    return static_cast<std::uint32_t>(i + 1);
-  }
+    ~TableInstance() {
+      std::free(main_);
+      std::free(chunk0_);
+      for (auto& c : grow_chunks_) {
+        if (Bucket* p = c.load(std::memory_order_relaxed)) std::free(p);
+      }
+    }
 
-  void grow_links() {
-    std::lock_guard<std::mutex> g(grow_mu_);
-    const std::uint64_t cap = link_capacity_.load(std::memory_order_relaxed);
-    if (link_bump_.load(std::memory_order_relaxed) < cap) return;
-    const std::size_t n = (cap - chunk0_count_) / kGrowChunkBuckets;
-    if (n >= kMaxGrowChunks) throw std::bad_alloc();
-    grow_chunks_[n].store(alloc_buckets(kGrowChunkBuckets),
-                          std::memory_order_release);
-    link_capacity_.store(cap + kGrowChunkBuckets, std::memory_order_release);
-  }
+    TableInstance(const TableInstance&) = delete;
+    TableInstance& operator=(const TableInstance&) = delete;
+
+    Bucket* link_at(std::uint32_t idx) const {
+      std::uint64_t i = idx - 1;
+      if (i < chunk0_count_) return &chunk0_[i];
+      i -= chunk0_count_;
+      Bucket* chunk =
+          grow_chunks_[i / kGrowChunkBuckets].load(std::memory_order_acquire);
+      return chunk + (i & (kGrowChunkBuckets - 1));
+    }
+
+    std::uint32_t alloc_link() {
+      const std::uint64_t i =
+          link_bump_.fetch_add(1, std::memory_order_relaxed);
+      while (i >= link_capacity_.load(std::memory_order_acquire)) {
+        grow_links();
+      }
+      return static_cast<std::uint32_t>(i + 1);
+    }
+
+    static void delete_cb(void* p, void*) {
+      delete static_cast<TableInstance*>(p);
+    }
+
+    Bucket* main_ = nullptr;
+    std::size_t mask_ = 0;
+
+    // Migration state: the published shadow table, the cooperative bucket
+    // cursor, and how many home buckets have finished migrating.
+    std::atomic<TableInstance*> next{nullptr};
+    std::atomic<std::uint64_t> migrate_cursor{0};
+    std::atomic<std::uint64_t> migrated_bins{0};
+
+   private:
+    void grow_links() {
+      std::lock_guard<std::mutex> g(grow_mu_);
+      const std::uint64_t cap = link_capacity_.load(std::memory_order_relaxed);
+      if (link_bump_.load(std::memory_order_relaxed) < cap) return;
+      const std::size_t n = (cap - chunk0_count_) / kGrowChunkBuckets;
+      if (n >= kMaxGrowChunks) throw std::bad_alloc();
+      grow_chunks_[n].store(alloc_buckets(kGrowChunkBuckets),
+                            std::memory_order_release);
+      link_capacity_.store(cap + kGrowChunkBuckets, std::memory_order_release);
+    }
+
+    Bucket* chunk0_ = nullptr;  // initial link pool, sized by link_ratio
+    std::size_t chunk0_count_ = 0;
+    std::atomic<Bucket*> grow_chunks_[kMaxGrowChunks];
+    std::atomic<std::uint64_t> link_capacity_{0};
+    std::atomic<std::uint64_t> link_bump_{0};
+    std::mutex grow_mu_;
+  };
 
   // ------------------------------------------------------------- locking
 
-  std::uint64_t lock_bucket(Bucket* b) {
+  static std::uint64_t lock_bucket(Bucket* b) {
     for (;;) {
       const std::uint64_t h = S::load_relaxed(&b->header);
       if (hdr::locked(h)) {
@@ -303,7 +409,7 @@ class DLHT {
 
   /// Release with a version bump: readers validating against a pre-lock
   /// header snapshot are guaranteed to observe a different word.
-  void unlock_bucket(Bucket* b, std::uint64_t locked_header) {
+  static void unlock_bucket(Bucket* b, std::uint64_t locked_header) {
     S::store_release(&b->header,
                      hdr::bump_version(hdr::without_lock(locked_header)));
   }
@@ -311,19 +417,22 @@ class DLHT {
   // ------------------------------------------------------------- probing
 
   /// One optimistic probe of one bucket. Fills `rp` and returns nullptr
-  /// when the request is resolved; returns the next chain bucket otherwise.
+  /// when the request is resolved; returns the next chain bucket to visit,
+  /// or &kRedirectBucket when the bucket has migrated to the shadow table.
   ///
   /// Slot selection is SWAR over the header word: one XOR + zero-byte test
   /// matches all three fingerprints at once, masked down to valid slots, so
   /// the common miss costs no per-slot branches.
-  const Bucket* probe_bucket(const Bucket* b, std::uint8_t fp,
-                             std::uint64_t key, Reply& rp) const {
+  const Bucket* probe_bucket(const TableInstance* t, const Bucket* b,
+                             std::uint8_t fp, std::uint64_t key,
+                             Reply& rp) const {
     for (;;) {
       const std::uint64_t v1 = S::load_acquire(&b->header);
       if (__builtin_expect(hdr::locked(v1), 0)) {
         cpu_relax();
         continue;
       }
+      if (__builtin_expect(hdr::migrated(v1), 0)) return &kRedirectBucket;
       // High bit of each fingerprint byte set iff that byte equals fp.
       const std::uint32_t fps = static_cast<std::uint32_t>(v1) & 0xffffffu;
       const std::uint32_t x = fps ^ (0x010101u * fp);
@@ -349,7 +458,7 @@ class DLHT {
       }
       {
         const std::uint32_t lk = __atomic_load_n(&b->link, __ATOMIC_ACQUIRE);
-        if (lk != 0) return link_at(lk);
+        if (lk != 0) return t->link_at(lk);
       }
       rp.status = Status::kNotFound;
       rp.value = 0;
@@ -358,23 +467,39 @@ class DLHT {
     }
   }
 
-  std::optional<std::uint64_t> get_hashed(std::uint64_t h,
-                                          std::uint64_t key) const {
+  /// Migration-aware Get starting at instance `t`: a migrated bucket
+  /// redirects the whole probe to the shadow table (whose contents for that
+  /// bucket are complete by the time the migrated bit is visible).
+  void get_on(const TableInstance* t, std::uint64_t h, std::uint64_t key,
+              Reply& rp) const {
     const std::uint8_t fp = fp_of(h);
-    const Bucket* b = &main_[h & mask_];
-    Reply rp;
-    while (b != nullptr) b = probe_bucket(b, fp, key, rp);
-    if (rp.status == Status::kOk) return rp.value;
-    return std::nullopt;
+    for (;;) {
+      const Bucket* b = &t->main_[h & t->mask_];
+      for (;;) {
+        const Bucket* next = probe_bucket(t, b, fp, key, rp);
+        if (next == nullptr) return;
+        if (next == &kRedirectBucket) break;
+        b = next;
+      }
+      // A migrated bit is only ever set after the shadow is published.
+      t = t->next.load(std::memory_order_acquire);
+    }
   }
 
   // ------------------------------------------------------------ mutations
 
-  Status mutate_insert(std::uint64_t h, std::uint64_t key, std::uint64_t value,
-                       bool upsert, SlotState publish_state) {
+  /// Try the insert/upsert on instance `t`. Returns false (retry at the
+  /// shadow) when the home bucket migrated before we got the lock.
+  bool try_mutate_on(TableInstance* t, std::uint64_t h, std::uint64_t key,
+                     std::uint64_t value, bool upsert,
+                     SlotState publish_state, Status* out) {
     const std::uint8_t fp = fp_of(h);
-    Bucket* home = &main_[h & mask_];
+    Bucket* home = &t->main_[h & t->mask_];
     const std::uint64_t hh = lock_bucket(home);
+    if (hdr::migrated(hh)) {
+      S::store_release(&home->header, hdr::without_lock(hh));
+      return false;
+    }
     Bucket* b = home;
     std::uint64_t bh = hh;
     Bucket* empty_b = nullptr;
@@ -395,7 +520,8 @@ class DLHT {
         // Key already present (valid or shadow-reserved).
         if (!upsert) {
           unlock_bucket(home, hh);
-          return Status::kExists;
+          *out = Status::kExists;
+          return true;
         }
         S::store_relaxed(&b->slots[i].value, value);
         if (b == home) {
@@ -404,10 +530,11 @@ class DLHT {
           S::store_release(&b->header, hdr::bump_version(bh));
           unlock_bucket(home, hh);
         }
-        return Status::kExists;
+        *out = Status::kExists;
+        return true;
       }
       if (b->link == 0) break;
-      b = link_at(b->link);
+      b = t->link_at(b->link);
       bh = b->header;
     }
 
@@ -422,13 +549,14 @@ class DLHT {
         S::store_release(&empty_b->header, hdr::bump_version(nh));
         unlock_bucket(home, hh);
       }
-      return Status::kOk;
+      *out = Status::kOk;
+      return true;
     }
 
     // Chain is full: append a link bucket. Its contents are written before
     // the release-store of last->link makes it reachable.
-    const std::uint32_t idx = alloc_link();
-    Bucket* nb = link_at(idx);
+    const std::uint32_t idx = t->alloc_link();
+    Bucket* nb = t->link_at(idx);
     nb->slots[0].key = key;
     nb->slots[0].value = value;
     nb->link = 0;
@@ -437,14 +565,20 @@ class DLHT {
     S::store_release(&nb->header, hdr::bump_version(nh));
     __atomic_store_n(&b->link, idx, __ATOMIC_RELEASE);
     unlock_bucket(home, hh);
-    return Status::kOk;
+    *out = Status::kOk;
+    return true;
   }
 
-  std::optional<std::uint64_t> extract_hashed(std::uint64_t h,
-                                              std::uint64_t key) {
+  /// Try the delete on instance `t`; false = home migrated, retry.
+  bool try_extract_on(TableInstance* t, std::uint64_t h, std::uint64_t key,
+                      std::optional<std::uint64_t>* out) {
     const std::uint8_t fp = fp_of(h);
-    Bucket* home = &main_[h & mask_];
+    Bucket* home = &t->main_[h & t->mask_];
     const std::uint64_t hh = lock_bucket(home);
+    if (hdr::migrated(hh)) {
+      S::store_release(&home->header, hdr::without_lock(hh));
+      return false;
+    }
     Bucket* b = home;
     std::uint64_t bh = hh;
     for (;;) {
@@ -460,42 +594,255 @@ class DLHT {
           S::store_release(&b->header, hdr::bump_version(nh));
           unlock_bucket(home, hh);
         }
-        return old;
+        *out = old;
+        return true;
       }
       if (b->link == 0) break;
-      b = link_at(b->link);
+      b = t->link_at(b->link);
       bh = b->header;
     }
     unlock_bucket(home, hh);
-    return std::nullopt;
+    *out = std::nullopt;
+    return true;
   }
 
-  Options opts_;
-  std::size_t mask_ = 0;
-  Bucket* main_ = nullptr;
-  Hasher hash_{};
+  /// Commit on instance `t`: 1 = committed, 0 = no shadow entry, -1 = home
+  /// migrated (retry at the shadow table).
+  int try_commit_on(TableInstance* t, std::uint64_t h, std::uint64_t key) {
+    const std::uint8_t fp = fp_of(h);
+    Bucket* home = &t->main_[h & t->mask_];
+    const std::uint64_t hh = lock_bucket(home);
+    if (hdr::migrated(hh)) {
+      S::store_release(&home->header, hdr::without_lock(hh));
+      return -1;
+    }
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        if (hdr::slot_state(bh, i) != SlotState::kShadow) continue;
+        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kValid);
+        if (b == home) {
+          unlock_bucket(home, nh);
+        } else {
+          S::store_release(&b->header, hdr::bump_version(nh));
+          unlock_bucket(home, hh);
+        }
+        return 1;
+      }
+      if (b->link == 0) break;
+      b = t->link_at(b->link);
+      bh = b->header;
+    }
+    unlock_bucket(home, hh);
+    return 0;
+  }
 
-  Bucket* chunk0_ = nullptr;  // initial link pool, sized by link_ratio
-  std::size_t chunk0_count_ = 0;
-  std::atomic<Bucket*> grow_chunks_[kMaxGrowChunks];
-  std::atomic<std::uint64_t> link_capacity_{0};
-  std::atomic<std::uint64_t> link_bump_{0};
-  std::mutex grow_mu_;
+  /// The instance writes should land in for a key hashing to `h`. During a
+  /// resize this migrates the key's home bucket first (so the shadow
+  /// becomes authoritative for this key), lends a hand with a cursor
+  /// chunk, and returns the shadow; otherwise the current table. Callers
+  /// retry through here when they lose the race with their bucket's
+  /// migration (try_*_on returned "migrated").
+  TableInstance* writer_table(std::uint64_t h) {
+    TableInstance* t = cur_.load(std::memory_order_acquire);
+    TableInstance* n = t->next.load(std::memory_order_acquire);
+    if (n == nullptr) return t;
+    ensure_migrated(t, n, h & t->mask_);
+    help_migrate(t, n);
+    return n;
+  }
+
+  Status mutate_pinned(std::uint64_t h, std::uint64_t key, std::uint64_t value,
+                       bool upsert, SlotState publish_state) {
+    for (;;) {
+      Status st;
+      if (!try_mutate_on(writer_table(h), h, key, value, upsert, publish_state,
+                         &st)) {
+        continue;  // lost the race with this bucket's migration
+      }
+      if (st == Status::kOk) note_insert();
+      return st;
+    }
+  }
+
+  std::optional<std::uint64_t> extract_pinned(std::uint64_t h,
+                                              std::uint64_t key) {
+    for (;;) {
+      std::optional<std::uint64_t> out;
+      if (!try_extract_on(writer_table(h), h, key, &out)) continue;
+      if (out.has_value()) note_erase();
+      return out;
+    }
+  }
+
+  // ------------------------------------------------------------- resizing
+
+  /// Move one home bucket (and its whole link chain) into the shadow table.
+  /// Runs under the home lock, so no mutation can interleave. Two passes:
+  /// first copy the entire chain into the shadow, then publish the migrated
+  /// bits — so the moment ANY bucket's bit is visible (a reader mid-chain
+  /// can encounter a link bucket's bit before the home's), every entry of
+  /// the chain is already findable in the shadow. Returns true iff this
+  /// call performed the migration.
+  bool migrate_one(TableInstance* t, TableInstance* n, std::size_t idx) {
+    Bucket* home = &t->main_[idx];
+    if (hdr::migrated(S::load_relaxed(&home->header))) return false;
+    const std::uint64_t hh = lock_bucket(home);
+    if (hdr::migrated(hh)) {
+      S::store_release(&home->header, hdr::without_lock(hh));
+      return false;
+    }
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        const SlotState st = hdr::slot_state(bh, i);
+        if (st == SlotState::kEmpty) continue;
+        // Shadow-reserved slots migrate as shadow: a later commit_shadow
+        // finds them in the new table.
+        const std::uint64_t k = b->slots[i].key;
+        Status ignored;
+        try_mutate_on(n, hash_(k), k, b->slots[i].value, /*upsert=*/false, st,
+                      &ignored);
+      }
+      if (b->link == 0) break;
+      b = t->link_at(b->link);
+      bh = S::load_relaxed(&b->header);
+    }
+    b = home->link != 0 ? t->link_at(home->link) : nullptr;
+    while (b != nullptr) {
+      const std::uint64_t lbh = S::load_relaxed(&b->header);
+      S::store_release(&b->header,
+                       hdr::bump_version(hdr::with_migrated(lbh)));
+      b = b->link != 0 ? t->link_at(b->link) : nullptr;
+    }
+    S::store_release(
+        &home->header,
+        hdr::bump_version(hdr::with_migrated(hdr::without_lock(hh))));
+    return true;
+  }
+
+  void ensure_migrated(TableInstance* t, TableInstance* n, std::size_t idx) {
+    if (migrate_one(t, n, idx)) credit_migrated(t, n, 1);
+  }
+
+  /// Claim one cursor chunk and migrate it. Called from every mutation
+  /// while a resize is active: writers are the migration workforce (the
+  /// paper's "inserts stall only for threads that become helpers").
+  void help_migrate(TableInstance* t, TableInstance* n) {
+    const std::uint64_t bins = t->mask_ + 1;
+    if (t->migrate_cursor.load(std::memory_order_relaxed) >= bins) return;
+    const std::size_t chunk =
+        opts_.resize_chunk_bins != 0 ? opts_.resize_chunk_bins : 1;
+    const std::uint64_t start =
+        t->migrate_cursor.fetch_add(chunk, std::memory_order_relaxed);
+    if (start >= bins) return;
+    const std::uint64_t end = start + chunk < bins ? start + chunk : bins;
+    std::uint64_t did = 0;
+    for (std::uint64_t i = start; i < end; ++i) {
+      did += migrate_one(t, n, static_cast<std::size_t>(i)) ? 1 : 0;
+    }
+    credit_migrated(t, n, did);
+  }
+
+  void credit_migrated(TableInstance* t, TableInstance* n,
+                       std::uint64_t count) {
+    if (count == 0) return;
+    const std::uint64_t bins = t->mask_ + 1;
+    if (t->migrated_bins.fetch_add(count, std::memory_order_acq_rel) + count ==
+        bins) {
+      // Last bucket done: the shadow becomes the table; the drained
+      // instance is retired and reclaimed once every reader epoch drains.
+      cur_.store(n, std::memory_order_release);
+      resizes_completed_.fetch_add(1, std::memory_order_relaxed);
+      resize_active_.store(false, std::memory_order_release);
+      epoch_.retire(t, &TableInstance::delete_cb, nullptr);
+      // Checkpoint now so sustained growth keeps at most ~two drained
+      // generations in limbo instead of one per resize.
+      epoch_.quiesce();
+    }
+  }
+
+  void note_insert() {
+    Shard& s = shards_[this_thread_index() & (kSizeShards - 1)];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    if ((s.inserts.fetch_add(1, std::memory_order_relaxed) & 255u) == 255u) {
+      maybe_start_resize();
+    }
+  }
+
+  void note_erase() {
+    Shard& s = shards_[this_thread_index() & (kSizeShards - 1)];
+    s.count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void maybe_start_resize() {
+    if (resize_active_.load(std::memory_order_acquire)) return;
+    TableInstance* t = cur_.load(std::memory_order_acquire);
+    const std::size_t capacity = (t->mask_ + 1) * kSlotsPerBucket;
+    if (static_cast<double>(approx_size()) <=
+        opts_.max_load_factor * static_cast<double>(capacity)) {
+      return;
+    }
+    if (resize_active_.exchange(true, std::memory_order_acq_rel)) return;
+    if (cur_.load(std::memory_order_acquire) != t ||
+        t->next.load(std::memory_order_relaxed) != nullptr) {
+      resize_active_.store(false, std::memory_order_release);
+      return;
+    }
+    TableInstance* n;
+    try {
+      n = new TableInstance((t->mask_ + 1) * 2, opts_.link_ratio);
+    } catch (...) {
+      resize_active_.store(false, std::memory_order_release);
+      throw;
+    }
+    t->next.store(n, std::memory_order_release);
+  }
+
+  static constexpr unsigned kSizeShards = 64;
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::uint64_t> inserts{0};
+  };
+
+  static inline const Bucket kRedirectBucket{};
+
+  Options opts_;
+  Hasher hash_{};
+  mutable EpochManager epoch_;
+  std::atomic<TableInstance*> cur_{nullptr};
+  std::atomic<bool> resize_active_{false};
+  std::atomic<std::uint64_t> resizes_completed_{0};
+  Shard shards_[kSizeShards];
 };
 
 /// The paper's default configuration: 8-byte values inlined in the bucket.
 using InlinedMap = DLHT;
 
 /// Out-of-line values: the table stores a pointer into a pool allocator.
-/// Deletes retire blocks; gc_checkpoint() reclaims them (stand-in for the
-/// paper's per-thread epoch scheme until the resize PR lands).
+/// Deletes retire blocks through the table's epoch manager; a block is
+/// freed only after every thread that could hold its pointer has passed a
+/// quiescent point. Callers that dereference get_ptr() results across
+/// concurrent erases should hold a pin() guard for the duration.
 template <class Alloc = PoolAllocator>
 class AllocatorMap {
  public:
   explicit AllocatorMap(const Options& o) : opts_(o), core_(o) {}
 
+  ~AllocatorMap() {
+    // Free retired value blocks while pool_ is still alive.
+    core_.epoch().drain_all();
+  }
+
   AllocatorMap(const AllocatorMap&) = delete;
   AllocatorMap& operator=(const AllocatorMap&) = delete;
+
+  /// Pin the calling thread's epoch: blocks retired by concurrent erases
+  /// stay allocated while the guard lives.
+  EpochManager::Guard pin() const { return core_.epoch().pin(); }
 
   bool insert(std::uint64_t key, const void* data, std::size_t len) {
     if (fixed() && len > opts_.fixed_value_size) return false;  // no silent truncation
@@ -514,6 +861,7 @@ class AllocatorMap {
   }
 
   const char* get_ptr(std::uint64_t key) const {
+    EpochManager::Guard g(core_.epoch());
     const auto v = core_.get(key);
     if (!v) return nullptr;
     const char* blk = reinterpret_cast<const char*>(
@@ -524,28 +872,18 @@ class AllocatorMap {
   bool erase(std::uint64_t key) {
     const auto v = core_.extract(key);
     if (!v) return false;
-    std::lock_guard<std::mutex> g(retire_mu_);
-    retired_.push_back(*v);
+    core_.epoch().retire(
+        reinterpret_cast<char*>(static_cast<std::uintptr_t>(*v)),
+        &AllocatorMap::free_block_cb, this);
     return true;
   }
 
-  void gc_checkpoint() {
-    std::vector<std::uint64_t> dead;
-    {
-      std::lock_guard<std::mutex> g(retire_mu_);
-      dead.swap(retired_);
-    }
-    for (const std::uint64_t v : dead) {
-      char* blk = reinterpret_cast<char*>(static_cast<std::uintptr_t>(v));
-      std::size_t len = 0;
-      if (!fixed()) {
-        std::uint64_t len64;
-        std::memcpy(&len64, blk, 8);
-        len = static_cast<std::size_t>(len64);
-      }
-      pool_.deallocate(blk, block_size(len));
-    }
-  }
+  /// Epoch checkpoint: advance if possible and free provably unreachable
+  /// retired blocks. Replaces the PR-1 gc_checkpoint() retire list.
+  void quiesce() { core_.epoch().quiesce(); }
+
+  const Alloc& allocator() const { return pool_; }
+  EpochManager& epoch() const { return core_.epoch(); }
 
  private:
   bool fixed() const { return opts_.fixed_value_size != 0; }
@@ -553,11 +891,21 @@ class AllocatorMap {
     return fixed() ? opts_.fixed_value_size : len + 8;
   }
 
+  static void free_block_cb(void* p, void* ctx) {
+    auto* self = static_cast<AllocatorMap*>(ctx);
+    char* blk = static_cast<char*>(p);
+    std::size_t len = 0;
+    if (!self->fixed()) {
+      std::uint64_t len64;
+      std::memcpy(&len64, blk, 8);
+      len = static_cast<std::size_t>(len64);
+    }
+    self->pool_.deallocate(blk, self->block_size(len));
+  }
+
   Options opts_;
+  mutable Alloc pool_;  // declared before core_: outlives retire callbacks
   DLHT core_;
-  mutable Alloc pool_;
-  std::mutex retire_mu_;
-  std::vector<std::uint64_t> retired_;
 };
 
 }  // namespace dlht

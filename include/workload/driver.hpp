@@ -69,11 +69,57 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
   return r;
 }
 
+/// Run each worker body exactly once to completion (no stop flag) and
+/// return the elapsed wall-clock seconds. This is the population/growth
+/// phase primitive: fig07-style benches time how long N threads take to
+/// build an index that resizes underneath them.
+template <class WorkerFactory>
+double run_once(int threads, WorkerFactory&& make_worker, bool pin = true) {
+  const int n = threads > 0 ? threads : 1;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    pool.emplace_back([&, tid] {
+      if (pin) pin_thread(static_cast<unsigned>(tid) % hardware_threads());
+      auto body = make_worker(tid);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body();
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < n) std::this_thread::yield();
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 /// Prepopulate a map with keys 1..keys (value = key). Key 0 is left free so
 /// workloads can use `gen.next() + 1` and baselines can reserve 0 as empty.
 template <class M>
 void populate(M& m, std::uint64_t keys) {
   for (std::uint64_t k = 1; k <= keys; ++k) m.insert(k, k);
+}
+
+/// Multi-thread population of keys 1..keys (value = key): the growth phase
+/// that drives online resizing before (or during) a timed mix. Each thread
+/// inserts a contiguous stripe so the final contents are deterministic.
+template <class M>
+void populate_parallel(M& m, std::uint64_t keys, int threads) {
+  const int n = threads > 0 ? threads : 1;
+  run_once(n, [&m, keys, n](int tid) {
+    return [&m, keys, n, tid] {
+      const std::uint64_t per = (keys + static_cast<std::uint64_t>(n) - 1) /
+                                static_cast<std::uint64_t>(n);
+      const std::uint64_t lo = 1 + static_cast<std::uint64_t>(tid) * per;
+      std::uint64_t hi = lo + per - 1;
+      if (hi > keys) hi = keys;
+      for (std::uint64_t k = lo; k <= hi; ++k) m.insert(k, k);
+    };
+  });
 }
 
 }  // namespace dlht::workload

@@ -1,27 +1,55 @@
 #!/usr/bin/env bash
 # CI entry point: build, test, sanitize, and smoke-run the bench binaries
-# so they cannot silently rot. Usable locally: scripts/ci.sh
+# so they cannot silently rot. Usable locally:
+#   scripts/ci.sh         # everything
+#   scripts/ci.sh main    # Release build + ctest + bench smoke + ASan/UBSan
+#   scripts/ci.sh tsan    # ThreadSanitizer build + concurrency tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== configure + build (Release) ==="
-cmake -B build -S .
-cmake --build build -j
+mode="${1:-all}"
 
-echo "=== ctest ==="
-ctest --test-dir build --output-on-failure
+run_main() {
+  echo "=== configure + build (Release) ==="
+  cmake -B build -S .
+  cmake --build build -j
 
-echo "=== bench smoke ==="
-./build/micro_ops --keys 65536 --ms 100
-DLHT_BENCH_THREADS=1,2 ./build/fig01_overview --keys 16384 --ms 20 > /dev/null
-echo "fig01 smoke ok"
+  echo "=== ctest ==="
+  ctest --test-dir build --output-on-failure
 
-echo "=== ASan/UBSan build + tests ==="
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build build-asan -j --target dlht_test
-./build-asan/dlht_test
+  echo "=== bench smoke ==="
+  ./build/micro_ops --keys 65536 --ms 100
+  DLHT_BENCH_THREADS=1,2 ./build/fig01_overview --keys 16384 --ms 20 > /dev/null
+  echo "fig01 smoke ok"
 
-echo "CI OK"
+  echo "=== ASan/UBSan build + tests ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j --target dlht_test resize_churn_test epoch_test
+  ./build-asan/dlht_test
+  ./build-asan/resize_churn_test
+  ./build-asan/epoch_test
+}
+
+run_tsan() {
+  echo "=== TSan build + concurrency tests ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target dlht_test resize_churn_test epoch_test
+  ./build-tsan/dlht_test
+  ./build-tsan/resize_churn_test
+  ./build-tsan/epoch_test
+}
+
+case "$mode" in
+  main) run_main ;;
+  tsan) run_tsan ;;
+  all)  run_main; run_tsan ;;
+  *)    echo "usage: scripts/ci.sh [main|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "CI OK ($mode)"

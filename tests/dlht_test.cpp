@@ -66,6 +66,12 @@ void test_put_get_delete() {
   for (std::uint64_t k = 2; k <= kN; k += 2) CHECK(m.get(k).value_or(0) == k + 1);
 
   CHECK(!m.erase(kN + 1));
+
+  // 20000 keys in a 256-bin table crosses the load-factor trigger several
+  // times: the sweeps above ran across live resizes.
+  CHECK(m.resizes_completed() >= 1);
+  CHECK(m.bins() > 256);
+  CHECK(m.approx_size() == static_cast<std::int64_t>(kN));
 }
 
 void test_shadow_insert() {
@@ -257,7 +263,7 @@ void test_allocator_map() {
   CHECK(p != nullptr && p[10] == 10 && p[63] == 63);
   CHECK(m.erase(1));
   CHECK(m.get_ptr(1) == nullptr);
-  m.gc_checkpoint();
+  m.quiesce();
 
   Options vo;
   vo.initial_bins = 256;
@@ -267,7 +273,7 @@ void test_allocator_map() {
   const char* q = vm.get_ptr(2);
   CHECK(q != nullptr && std::string_view(q) == msg);
   CHECK(vm.erase(2));
-  vm.gc_checkpoint();
+  vm.quiesce();
 }
 
 }  // namespace
