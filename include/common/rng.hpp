@@ -102,6 +102,17 @@ class ZipfGenerator {
   double eta_;
 };
 
+/// MurmurHash3's 64-bit finalizer: a bijection on 64-bit ints, used to
+/// scatter structured ranks/indices across the key space.
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
 /// Zipf ranks scrambled over the key space so hot keys are spread across
 /// the table instead of clustered in adjacent bins (YCSB's "scrambled
 /// zipfian"); this is what the skew workloads (Fig. 13) should draw from.
@@ -111,15 +122,9 @@ class ScrambledZipf {
       : zipf_(n, theta, seed), n_(n != 0 ? n : 1) {}
 
   std::uint64_t next() {
-    // fmix64 is a bijection on 64-bit ints, so ranks never collide before
-    // the final fold; the fold keeps the result inside the key space.
-    std::uint64_t k = zipf_.next();
-    k ^= k >> 33;
-    k *= 0xff51afd7ed558ccdull;
-    k ^= k >> 33;
-    k *= 0xc4ceb9fe1a85ec53ull;
-    k ^= k >> 33;
-    return k % n_;
+    // fmix64 never collides ranks before the final fold; the fold keeps
+    // the result inside the key space.
+    return fmix64(zipf_.next()) % n_;
   }
 
   std::uint64_t operator()() { return next(); }
@@ -127,6 +132,40 @@ class ScrambledZipf {
  private:
   ZipfGenerator zipf_;
   std::uint64_t n_;
+};
+
+/// Hot-set skew (Fig. 13's x axis): a fraction `frac` of draws hit `hot`
+/// fixed keys, the rest are uniform over [0, n). The hot set is derived by
+/// scattering 0..hot-1 with fmix64 — deterministic and seed-independent, so
+/// every thread shares the same hot keys and the cache locality the figure
+/// measures is real.
+class HotSetGenerator {
+ public:
+  HotSetGenerator(std::uint64_t n, std::uint64_t hot, double frac,
+                  std::uint64_t seed)
+      : rng_(seed), n_(n != 0 ? n : 1),
+        hot_(hot != 0 ? (hot < n_ ? hot : n_) : 1) {
+    if (frac >= 1.0) {
+      cut_ = ~0ull;  // every draw is hot, exactly (the 100 % point)
+    } else if (frac <= 0.0) {
+      cut_ = 0;
+    } else {
+      cut_ = static_cast<std::uint64_t>(frac * 0x1.0p64);
+    }
+  }
+
+  std::uint64_t next() {
+    if (rng_() <= cut_) return fmix64(rng_.next_below(hot_)) % n_;
+    return rng_.next_below(n_);
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint64_t n_;
+  std::uint64_t hot_;
+  std::uint64_t cut_;
 };
 
 }  // namespace dlht

@@ -138,6 +138,21 @@ class DLHT {
 
   bool erase(std::uint64_t key) { return extract(key).has_value(); }
 
+  /// Read-modify-write: replace the value of an existing key with
+  /// `f(current)` under the home-bucket lock — one lock acquisition, no
+  /// separate Get/Put round trip (the YCSB-F primitive). `f` runs while the
+  /// bucket is locked, so keep it tiny and side-effect-light. Returns the
+  /// value written, or nullopt when the key is absent.
+  template <class F>
+  std::optional<std::uint64_t> update(std::uint64_t key, F&& f) {
+    EpochManager::Guard g(epoch_);
+    const std::uint64_t h = hash_(key);
+    for (;;) {
+      std::optional<std::uint64_t> out;
+      if (try_update_on(writer_table(h), h, key, f, &out)) return out;
+    }
+  }
+
   /// Delete, returning the removed value. The slot is freed in place (no
   /// tombstone) and immediately reusable by later inserts.
   std::optional<std::uint64_t> extract(std::uint64_t key) {
@@ -606,6 +621,45 @@ class DLHT {
     return true;
   }
 
+  /// Try the read-modify-write on instance `t`; false = home migrated,
+  /// retry at the shadow. Only kValid slots are eligible: a shadow-reserved
+  /// entry is not yet readable, so it is not yet updatable either.
+  template <class F>
+  bool try_update_on(TableInstance* t, std::uint64_t h, std::uint64_t key,
+                     F&& f, std::optional<std::uint64_t>* out) {
+    const std::uint8_t fp = fp_of(h);
+    Bucket* home = &t->main_[h & t->mask_];
+    const std::uint64_t hh = lock_bucket(home);
+    if (hdr::migrated(hh)) {
+      S::store_release(&home->header, hdr::without_lock(hh));
+      return false;
+    }
+    Bucket* b = home;
+    std::uint64_t bh = hh;
+    for (;;) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        if (hdr::slot_state(bh, i) != SlotState::kValid) continue;
+        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        const std::uint64_t nv = f(b->slots[i].value);
+        S::store_relaxed(&b->slots[i].value, nv);
+        if (b == home) {
+          unlock_bucket(home, bh);
+        } else {
+          S::store_release(&b->header, hdr::bump_version(bh));
+          unlock_bucket(home, hh);
+        }
+        *out = nv;
+        return true;
+      }
+      if (b->link == 0) break;
+      b = t->link_at(b->link);
+      bh = b->header;
+    }
+    unlock_bucket(home, hh);
+    *out = std::nullopt;
+    return true;
+  }
+
   /// Commit on instance `t`: 1 = committed, 0 = no shadow entry, -1 = home
   /// migrated (retry at the shadow table).
   int try_commit_on(TableInstance* t, std::uint64_t h, std::uint64_t key) {
@@ -821,6 +875,39 @@ class DLHT {
 
 /// The paper's default configuration: 8-byte values inlined in the bucket.
 using InlinedMap = DLHT;
+
+/// Value-less membership mode (§5.3.3): the HashSet the paper builds its
+/// database lock manager on. insert-if-absent doubles as try-lock and
+/// delete as unlock; values are pinned to zero so the surface cannot be
+/// misused as a map. The batched entry points are DLHT's own pipeline —
+/// an ordered batch of inserts is the lock manager's batched lock path.
+class HashSet {
+ public:
+  using Request = DLHT::Request;
+  using Reply = DLHT::Reply;
+
+  explicit HashSet(const Options& o) : core_(o) {}
+
+  /// Membership insert. False means the key was already present — exactly
+  /// a failed try-lock when keys are lock records.
+  bool insert(std::uint64_t key) { return core_.insert(key, 0); }
+  bool erase(std::uint64_t key) { return core_.erase(key); }
+  bool contains(std::uint64_t key) const {
+    return core_.get(key).has_value();
+  }
+
+  /// Pipelined mixed batch (kInsert/kDelete/kGet requests); values in the
+  /// requests are ignored and should be zero.
+  void execute_batch(const Request* reqs, Reply* reps, std::size_t n) {
+    core_.execute_batch(reqs, reps, n);
+  }
+
+  std::int64_t approx_size() const { return core_.approx_size(); }
+  DLHT& core() { return core_; }
+
+ private:
+  DLHT core_;
+};
 
 /// Out-of-line values: the table stores a pointer into a pool allocator.
 /// Deletes retire blocks through the table's epoch manager; a block is

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/rng.hpp"  // fmix64, shared with the workload scramblers
+
 namespace dlht {
 
 /// 128-bit multiply folding, the core of wyhash.
@@ -41,16 +43,11 @@ struct Fnv1aHash {
   }
 };
 
-/// MurmurHash3 64-bit finalizer (fmix64).
+/// MurmurHash3 64-bit finalizer — the one fmix64 definition lives in
+/// common/rng.hpp so the table hash and the workload scramblers cannot
+/// silently diverge.
 struct Murmur3Hash {
-  std::uint64_t operator()(std::uint64_t k) const {
-    k ^= k >> 33;
-    k *= 0xff51afd7ed558ccdull;
-    k ^= k >> 33;
-    k *= 0xc4ceb9fe1a85ec53ull;
-    k ^= k >> 33;
-    return k;
-  }
+  std::uint64_t operator()(std::uint64_t k) const { return fmix64(k); }
 };
 
 /// xxhash64 avalanche with one extra multiply for short-key quality.

@@ -8,6 +8,7 @@
 // batch) granularity.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/topology.hpp"
 
 namespace dlht::workload {
@@ -23,12 +25,57 @@ struct RunSpec {
   int threads = 1;
   double seconds = 0.3;
   bool pin = true;
+  /// Closed-loop latency mode (Fig. 15): time every worker invocation and
+  /// fill RunResult's avg/p50/p99 fields. Benches that want per-op numbers
+  /// should issue one request per invocation (or divide by the op count).
+  bool measure_latency = false;
 };
 
 struct RunResult {
   std::uint64_t total_ops = 0;
   double elapsed_sec = 0;
   double mreqs_per_sec = 0;
+  // Filled only when RunSpec::measure_latency is set; per worker-call ns
+  // merged across threads. avg is exact over every call; the percentiles
+  // come from per-thread reservoirs (32K samples each).
+  double avg_latency_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// Per-thread latency record: exact running sum plus a fixed-size uniform
+/// reservoir (Vitter's algorithm R) so a multi-second closed loop keeps its
+/// percentile estimate unbiased without unbounded memory. Cache-line
+/// aligned: add() writes counters on every timed op, and adjacent threads'
+/// records must not false-share into the latencies being measured.
+class alignas(128) LatencyReservoir {
+ public:
+  static constexpr std::size_t kCap = std::size_t{1} << 15;
+
+  explicit LatencyReservoir(std::uint64_t seed) : rng_(splitmix64(~seed)) {
+    samples_.reserve(kCap);
+  }
+
+  void add(std::uint64_t ns) {
+    total_ns_ += ns;
+    if (samples_.size() < kCap) {
+      samples_.push_back(ns);
+    } else {
+      const std::uint64_t j = rng_.next_below(calls_ + 1);
+      if (j < kCap) samples_[static_cast<std::size_t>(j)] = ns;
+    }
+    ++calls_;
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t total_ns() const { return total_ns_; }
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t total_ns_ = 0;
 };
 
 template <class WorkerFactory>
@@ -38,6 +85,13 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
   std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
   std::vector<std::uint64_t> ops(static_cast<std::size_t>(n), 0);
+  std::vector<LatencyReservoir> lat;
+  if (spec.measure_latency) {
+    lat.reserve(static_cast<std::size_t>(n));
+    for (int tid = 0; tid < n; ++tid) {
+      lat.emplace_back(static_cast<std::uint64_t>(tid));
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int tid = 0; tid < n; ++tid) {
@@ -47,7 +101,19 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
       ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       std::uint64_t done = 0;
-      while (!stop.load(std::memory_order_relaxed)) done += body();
+      if (spec.measure_latency) {
+        LatencyReservoir& rec = lat[static_cast<std::size_t>(tid)];
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto a = std::chrono::steady_clock::now();
+          done += body();
+          const auto b = std::chrono::steady_clock::now();
+          rec.add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                  .count()));
+        }
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) done += body();
+      }
       ops[static_cast<std::size_t>(tid)] = done;
     });
   }
@@ -65,6 +131,40 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
   if (r.elapsed_sec > 0) {
     r.mreqs_per_sec =
         static_cast<double>(r.total_ops) / r.elapsed_sec / 1e6;
+  }
+  if (spec.measure_latency) {
+    std::uint64_t calls = 0, total_ns = 0;
+    // Each reservoir holds at most kCap samples regardless of how many
+    // calls it saw, so merging by concatenation would weight a slow,
+    // low-rate thread the same as a fast one and bias the percentiles
+    // upward. Weight each sample by the calls it stands for instead.
+    std::vector<std::pair<std::uint64_t, double>> merged;  // (ns, weight)
+    for (const LatencyReservoir& rec : lat) {
+      calls += rec.calls();
+      total_ns += rec.total_ns();
+      if (rec.samples().empty()) continue;
+      const double w = static_cast<double>(rec.calls()) /
+                       static_cast<double>(rec.samples().size());
+      for (const std::uint64_t ns : rec.samples()) merged.push_back({ns, w});
+    }
+    if (calls != 0) {
+      r.avg_latency_ns =
+          static_cast<double>(total_ns) / static_cast<double>(calls);
+    }
+    if (!merged.empty()) {
+      std::sort(merged.begin(), merged.end());
+      const auto weighted_pct = [&merged, calls](double q) {
+        const double target = q * static_cast<double>(calls);
+        double acc = 0;
+        for (const auto& [ns, w] : merged) {
+          acc += w;
+          if (acc >= target) return ns;
+        }
+        return merged.back().first;
+      };
+      r.p50_ns = weighted_pct(0.50);
+      r.p99_ns = weighted_pct(0.99);
+    }
   }
   return r;
 }
@@ -97,13 +197,6 @@ double run_once(int threads, WorkerFactory&& make_worker, bool pin = true) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-/// Prepopulate a map with keys 1..keys (value = key). Key 0 is left free so
-/// workloads can use `gen.next() + 1` and baselines can reserve 0 as empty.
-template <class M>
-void populate(M& m, std::uint64_t keys) {
-  for (std::uint64_t k = 1; k <= keys; ++k) m.insert(k, k);
-}
-
 /// Multi-thread population of keys 1..keys (value = key): the growth phase
 /// that drives online resizing before (or during) a timed mix. Each thread
 /// inserts a contiguous stripe so the final contents are deterministic.
@@ -120,6 +213,20 @@ void populate_parallel(M& m, std::uint64_t keys, int threads) {
       for (std::uint64_t k = lo; k <= hi; ++k) m.insert(k, k);
     };
   });
+}
+
+/// Prepopulate a map with keys 1..keys (value = key): the convenience
+/// wrapper every bench calls. Key 0 is left free so workloads can use
+/// `gen.next() + 1` and baselines can reserve 0 as empty. Large populations
+/// stripe across up to 8 threads via populate_parallel; small ones stay
+/// single-threaded (not worth the spawns, and identical contents either
+/// way).
+template <class M>
+void populate(M& m, std::uint64_t keys) {
+  const unsigned hw = hardware_threads();
+  int t = static_cast<int>(hw < 8u ? hw : 8u);
+  if (keys < 65536) t = 1;
+  populate_parallel(m, keys, t);
 }
 
 }  // namespace dlht::workload

@@ -26,6 +26,26 @@ struct UniformGenerator {
   std::uint64_t range;
 };
 
+/// Never-repeating keys above the prepopulated range: thread `tid` of
+/// `threads` walks prepopulated+1+tid, +threads, ... so threads never
+/// collide and every draw is a never-before-inserted key. The insert+delete
+/// benches (Figs 9/10/14/15) pair each fresh key with an immediate erase,
+/// so the table's size stays steady while slots keep cycling.
+struct FreshKeyGenerator {
+  FreshKeyGenerator(std::uint64_t prepopulated, unsigned tid, unsigned threads)
+      : next_(prepopulated + 1 + tid),
+        stride_(threads != 0 ? threads : 1) {}
+
+  std::uint64_t next() {
+    const std::uint64_t k = next_;
+    next_ += stride_;
+    return k;
+  }
+
+  std::uint64_t next_;
+  std::uint64_t stride_;
+};
+
 namespace workload {
 
 /// Maps exposing DLHT's native surface: scalar get/put/insert/erase plus
@@ -147,6 +167,41 @@ auto make_zipf_get_worker(M& m, std::uint64_t keys, double theta,
       auto v = m.get(gen.next() + 1);
       sink(&v);
       return 1;
+    };
+  };
+}
+
+/// Hot-set skewed Gets (Fig. 13): `frac` of lookups hit `hot` fixed keys
+/// shared by every thread, the rest are uniform over the populated range.
+template <class M>
+auto make_skewed_get_worker(M& m, std::uint64_t keys, std::uint64_t hot,
+                            double frac, std::uint64_t seed) {
+  return [&m, keys, hot, frac, seed](int tid) {
+    return [&m, gen = HotSetGenerator(keys, hot, frac,
+                                      splitmix64(seed + 0x500u + tid))]()
+               mutable -> std::size_t {
+      auto v = m.get(gen.next() + 1);
+      sink(&v);
+      return 1;
+    };
+  };
+}
+
+template <class M>
+auto make_skewed_get_batch_worker(M& m, std::uint64_t keys, std::uint64_t hot,
+                                  double frac, std::size_t batch,
+                                  std::uint64_t seed) {
+  return [&m, keys, hot, frac, batch, seed](int tid) {
+    return [&m, batch,
+            gen = HotSetGenerator(keys, hot, frac,
+                                  splitmix64(seed + 0x500u + tid)),
+            ks = std::vector<std::uint64_t>(batch),
+            out = std::vector<typename M::Reply>(batch)]()
+               mutable -> std::size_t {
+      for (std::size_t i = 0; i < batch; ++i) ks[i] = gen.next() + 1;
+      m.get_batch(ks.data(), out.data(), batch);
+      sink(out.data());
+      return batch;
     };
   };
 }

@@ -22,15 +22,45 @@ run_main() {
   DLHT_BENCH_THREADS=1,2 ./build/fig01_overview --keys 16384 --ms 20 > /dev/null
   echo "fig01 smoke ok"
 
+  echo "=== apps-layer fig smoke (13, 15, 17-20) ==="
+  # The paper shapes these must reproduce are also enforced as ctest
+  # FAIL_REGULAR_EXPRESSION properties; here we additionally fail on a WARN
+  # for the required claims so a bare script run catches regressions too.
+  # (NB: a bare `! grep` is exempt from errexit — test explicitly.)
+  require_absent() {  # require_absent <file> <regex>
+    if grep -Eq "$2" "$1"; then
+      echo "FAIL: required shape regressed: $2" >&2
+      exit 1
+    fi
+  }
+  ./build/fig13_skew --keys 2097152 --ms 80 --threads-list 1 \
+    | tee /tmp/fig13.out > /dev/null
+  require_absent /tmp/fig13.out "WARN: Gets speed up under skew"
+  ./build/fig15_latency --keys 16384 --ms 30 --threads-list 1,2 \
+    | tee /tmp/fig15.out > /dev/null
+  require_absent /tmp/fig15.out "nan|inf"
+  ./build/fig17_lock_manager --keys 16384 --ms 30 --threads-list 1,2 > /dev/null
+  ./build/fig18_ycsb --keys 16384 --ms 25 --threads-list 1,2 \
+    | tee /tmp/fig18.out > /dev/null
+  require_absent /tmp/fig18.out "WARN: read-only C beats update-only F"
+  ./build/fig19_oltp --keys 16384 --ms 25 --threads-list 1,2 > /dev/null
+  ./build/fig20_hashjoin --keys 1048576 --ms 25 --threads-list 1,2 \
+    | tee /tmp/fig20.out > /dev/null
+  require_absent /tmp/fig20.out "WARN: (batched probe beats unbatched|join checksum mismatch)"
+  echo "apps fig smoke ok"
+
   echo "=== ASan/UBSan build + tests ==="
   cmake -B build-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-  cmake --build build-asan -j --target dlht_test resize_churn_test epoch_test
+  cmake --build build-asan -j --target dlht_test resize_churn_test epoch_test \
+    rng_test apps_test
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
   ./build-asan/epoch_test
+  ./build-asan/rng_test
+  ./build-asan/apps_test
 }
 
 run_tsan() {
@@ -39,10 +69,17 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j --target dlht_test resize_churn_test epoch_test
+  cmake --build build-tsan -j --target dlht_test resize_churn_test epoch_test \
+    apps_test fig18_ycsb
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
   ./build-tsan/epoch_test
+  # apps_test's Smallbank conservation run is the first workload doing
+  # cross-instance RMW transactions; fig18 exercises the YCSB mixes (incl.
+  # F's update() path) under the race detector at a tiny scale.
+  ./build-tsan/apps_test
+  DLHT_BENCH_THREADS=2 ./build-tsan/fig18_ycsb --keys 4096 --ms 20 > /dev/null
+  echo "tsan ycsb smoke ok"
 }
 
 case "$mode" in

@@ -1,0 +1,138 @@
+// Statistical tests for the workload generators: ZipfGenerator,
+// ScrambledZipf and HotSetGenerator. Same no-framework style as dlht_test:
+// assert loudly, return nonzero on any failure.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+#define CHECK(cond)                                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      ++g_failures;                                                         \
+    }                                                                       \
+  } while (0)
+
+using namespace dlht;
+
+constexpr std::uint64_t kN = 1000;       // key space
+constexpr std::uint64_t kDraws = 200000; // samples per test
+constexpr double kTheta = 0.99;          // the YCSB default
+
+void test_zipf_deterministic_and_in_range() {
+  std::puts("test_zipf_deterministic_and_in_range");
+  ZipfGenerator a(kN, kTheta, 12345);
+  ZipfGenerator b(kN, kTheta, 12345);
+  ZipfGenerator other(kN, kTheta, 54321);
+  bool identical = true, differs = false;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t va = a.next();
+    identical = identical && va == b.next();
+    differs = differs || va != other.next();
+    CHECK(va < kN);
+  }
+  CHECK(identical);  // fixed seed => fixed sequence
+  CHECK(differs);    // different seed => different sequence
+}
+
+void test_zipf_rank1_dominates_uniform() {
+  std::puts("test_zipf_rank1_dominates_uniform");
+  ZipfGenerator g(kN, kTheta, 99);
+  std::vector<std::uint64_t> freq(kN, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++freq[g.next()];
+  const double uniform_share = static_cast<double>(kDraws) / kN;
+  // At theta=0.99 over n=1000, rank 0 should take ~9% of all draws —
+  // orders of magnitude above the 0.1% uniform share. Require >= 10x
+  // uniform (a deliberately loose bound: this must never flake).
+  CHECK(static_cast<double>(freq[0]) > 10.0 * uniform_share);
+  // And the distribution must be monotone-ish at the head.
+  CHECK(freq[0] > freq[1]);
+  CHECK(freq[1] > freq[10]);
+}
+
+void test_scrambled_zipf() {
+  std::puts("test_scrambled_zipf");
+  ScrambledZipf a(kN, kTheta, 777);
+  ScrambledZipf b(kN, kTheta, 777);
+  std::vector<std::uint64_t> freq(kN, 0);
+  bool identical = true;
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = a.next();
+    identical = identical && v == b.next();
+    CHECK(v < kN);
+    ++freq[v];
+  }
+  CHECK(identical);
+  // The scramble relocates the hot ranks but must not flatten them: the
+  // modal key keeps rank 0's ~9% share, still >= 10x uniform.
+  std::uint64_t max_freq = 0;
+  for (const std::uint64_t f : freq) max_freq = f > max_freq ? f : max_freq;
+  const double uniform_share = static_cast<double>(kDraws) / kN;
+  CHECK(static_cast<double>(max_freq) > 10.0 * uniform_share);
+  // Scrambling means the hottest key should usually NOT be key 0.
+  // (fmix64(0) % 1000 == 160 for this mixer; just assert relocation.)
+  std::uint64_t argmax = 0;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    if (freq[k] == max_freq) { argmax = k; break; }
+  }
+  CHECK(argmax == fmix64(0) % kN);
+}
+
+void test_hot_set_generator() {
+  std::puts("test_hot_set_generator");
+  constexpr std::uint64_t kHot = 10;
+  // frac=1: every draw lands in the 10-key hot set.
+  {
+    HotSetGenerator g(kN, kHot, 1.0, 31);
+    std::vector<bool> is_hot(kN, false);
+    for (std::uint64_t j = 0; j < kHot; ++j) is_hot[fmix64(j) % kN] = true;
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      const std::uint64_t v = g.next();
+      CHECK(v < kN);
+      CHECK(is_hot[v]);
+    }
+  }
+  // frac=0: indistinguishable from uniform — hot keys get no extra mass.
+  {
+    HotSetGenerator g(kN, kHot, 0.0, 32);
+    std::vector<std::uint64_t> freq(kN, 0);
+    for (std::uint64_t i = 0; i < kDraws; ++i) ++freq[g.next()];
+    const double uniform_share = static_cast<double>(kDraws) / kN;
+    for (std::uint64_t j = 0; j < kHot; ++j) {
+      CHECK(static_cast<double>(freq[fmix64(j) % kN]) < 3.0 * uniform_share);
+    }
+  }
+  // frac=0.9: the hot set takes ~90% of draws.
+  {
+    HotSetGenerator g(kN, kHot, 0.9, 33);
+    std::vector<bool> is_hot(kN, false);
+    for (std::uint64_t j = 0; j < kHot; ++j) is_hot[fmix64(j) % kN] = true;
+    std::uint64_t hot_draws = 0;
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+      hot_draws += is_hot[g.next()] ? 1 : 0;
+    }
+    const double share = static_cast<double>(hot_draws) / kDraws;
+    CHECK(share > 0.85 && share < 0.95);
+  }
+}
+
+}  // namespace
+
+int main() {
+  test_zipf_deterministic_and_in_range();
+  test_zipf_rank1_dominates_uniform();
+  test_scrambled_zipf();
+  test_hot_set_generator();
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::puts("all rng tests passed");
+  return 0;
+}
