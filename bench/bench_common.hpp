@@ -34,12 +34,45 @@ inline std::uint64_t now_ns() {
 
 /// Paper default geometry, shared by the figure benches and micro_ops:
 /// bins ~ 2/3 of keys (67M bins for 100M keys), link buckets bins/8.
+///
+/// Two env knobs apply to every bench-constructed table:
+///   DLHT_GROWTH_FACTOR   0 (adaptive 8/4/2 policy), 2, 4, 8 — shadow-table
+///                        size multiplier (Options::growth_factor).
+///   DLHT_ABLATION        comma list of features to disable: nofp
+///                        (fingerprints), nolink (link chains), noinplace
+///                        (in-place updates). "nobatch" is honored by the
+///                        benches that sweep batching, not here.
+/// Overlay the DLHT_GROWTH_FACTOR / DLHT_ABLATION env knobs onto `o`.
+/// dlht_options() applies this automatically; benches that build Options
+/// by hand (fig07/fig08's growth tables, tab01's occupancy study) call it
+/// so the knobs work everywhere REPRODUCING.md says they do.
+inline Options apply_env_knobs(Options o) {
+  if (const char* env = std::getenv("DLHT_GROWTH_FACTOR")) {
+    char* end = nullptr;
+    const auto f = std::strtoull(env, &end, 10);
+    if (end != env) o.growth_factor = f;  // non-numeric: keep the default
+  }
+  if (const char* env = std::getenv("DLHT_ABLATION")) {
+    if (std::strstr(env, "nofp")) o.ablation.fingerprints = false;
+    if (std::strstr(env, "nolink")) o.ablation.link_chains = false;
+    if (std::strstr(env, "noinplace")) o.ablation.inplace_updates = false;
+  }
+  return o;
+}
+
 inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
   Options o;
   o.initial_bins = static_cast<std::size_t>(keys * 2 / 3 + 64);
   o.link_ratio = 0.125;
   o.max_threads = max_threads;
-  return o;
+  return apply_env_knobs(o);
+}
+
+/// True when DLHT_ABLATION contains "nobatch": benches that default to the
+/// batched API fall back to scalar ops so batching itself can be ablated.
+inline bool ablate_batching() {
+  const char* env = std::getenv("DLHT_ABLATION");
+  return env != nullptr && std::strstr(env, "nobatch") != nullptr;
 }
 
 struct Args {

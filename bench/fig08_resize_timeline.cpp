@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
 
   // Size the index so `prepop` sits under the load-factor trigger but
   // `target` (4x prepop) forces at least one full migration mid-run.
-  InlinedMap m(Options{.initial_bins = args.keys / 3 + 64,
-                       .link_ratio = 0.125,
-                       .max_threads = 64,
-                       .resize_chunk_bins = 4096});
+  InlinedMap m(apply_env_knobs(Options{.initial_bins = args.keys / 3 + 64,
+                                       .link_ratio = 0.125,
+                                       .max_threads = 64,
+                                       .resize_chunk_bins = 4096}));
   workload::populate(m, prepop);
 
   constexpr int kBucketMs = 25;

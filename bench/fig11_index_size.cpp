@@ -44,5 +44,11 @@ int main(int argc, char** argv) {
 
   check_shape("batching gains grow with index size",
               (batch_big / nobatch_big) > (batch_small / nobatch_small));
+  // Graceful degradation: a memory-resident index costs real DRAM/TLB
+  // misses, but batching keeps the curve a slope, not a cliff.
+  check_shape("Get degrades past cache-resident index sizes",
+              batch_big < batch_small);
+  check_shape("degradation is graceful (>= 1/4 of cache-resident tput)",
+              batch_big > batch_small * 0.25);
   return 0;
 }

@@ -40,9 +40,23 @@ enum class Probe { kLinear, kQuadratic, kStride };
 template <class Hash, Probe P>
 class OpenTable {
  public:
-  explicit OpenTable(std::uint64_t capacity)
+  /// `max_fill` > 0 arms the resize-policy counter: when occupied cells
+  /// (live + tombstone) cross max_fill * capacity, migrations() ticks and
+  /// the threshold doubles. No actual migration runs — tab01's occupancy
+  /// study only needs to observe *when* the policy would fire (GrowT's is
+  /// 30 %).
+  explicit OpenTable(std::uint64_t capacity, double max_fill = 0.0)
       : cap_(ceil_pow2(capacity < 64 ? 64 : capacity)), mask_(cap_ - 1),
-        cells_(std::make_unique<Cell[]>(cap_)) {}
+        cells_(std::make_unique<Cell[]>(cap_)),
+        grow_at_(max_fill > 0.0
+                     ? static_cast<std::uint64_t>(
+                           max_fill * static_cast<double>(cap_))
+                     : 0) {}
+
+  /// Times the fill policy fired (see constructor); 0 when unarmed.
+  std::uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
 
   bool insert(std::uint64_t k, std::uint64_t v) {
     const std::uint64_t h = Hash{}(k);
@@ -61,6 +75,7 @@ class OpenTable {
         if (cells_[i].key.compare_exchange_strong(cur, k,
                                                   std::memory_order_acq_rel)) {
           cells_[i].value.store(v, std::memory_order_release);
+          note_fill();
           return true;
         }
         if (cur == k) {
@@ -134,9 +149,21 @@ class OpenTable {
     }
   }
 
+  void note_fill() {
+    const std::uint64_t n = filled_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t at = grow_at_.load(std::memory_order_relaxed);
+    if (at != 0 && n == at) {
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      grow_at_.store(at * 2, std::memory_order_relaxed);
+    }
+  }
+
   std::size_t cap_;
   std::size_t mask_;
   std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> filled_{0};  // cells ever occupied (incl. tomb)
+  std::atomic<std::uint64_t> grow_at_{0};
+  std::atomic<std::uint64_t> migrations_{0};
 };
 
 }  // namespace detail
@@ -172,6 +199,13 @@ class ClhtLike {
 
   ClhtLike(const ClhtLike&) = delete;
   ClhtLike& operator=(const ClhtLike&) = delete;
+
+  /// Times a bin overflowed its three in-line slots (an overflow node had
+  /// to be chained). Real CLHT triggers its serial, blocking resize on this
+  /// event — tab01's occupancy study counts it as "would have resized".
+  std::uint64_t resizes() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
 
   std::optional<std::uint64_t> get(std::uint64_t k) const {
     for (const Node* n = &table_[Hash{}(k) & mask_]; n != nullptr;
@@ -212,6 +246,7 @@ class ClhtLike {
       fresh->keys[0].store(k, std::memory_order_relaxed);
       fresh->vals[0].store(v, std::memory_order_relaxed);
       tail->next.store(fresh, std::memory_order_release);
+      overflows_.fetch_add(1, std::memory_order_relaxed);
     } else {
       free_n->vals[free_i].store(v, std::memory_order_relaxed);
       free_n->keys[free_i].store(k, std::memory_order_release);
@@ -259,6 +294,7 @@ class ClhtLike {
   std::size_t bins_;
   std::size_t mask_;
   std::unique_ptr<Node[]> table_;
+  std::atomic<std::uint64_t> overflows_{0};
 };
 
 /// DRAMHiT-style: open addressing plus a request-reordering batch API that
@@ -280,6 +316,7 @@ class DramhitLike {
   explicit DramhitLike(std::uint64_t capacity) : impl_(capacity) {}
 
   bool insert(std::uint64_t k, std::uint64_t v) { return impl_.insert(k, v); }
+  bool put(std::uint64_t k, std::uint64_t v) { return impl_.put(k, v); }
   std::optional<std::uint64_t> get(std::uint64_t k) const {
     return impl_.get(k);
   }

@@ -1,0 +1,84 @@
+// Remote-memory (CXL / cross-socket) latency emulation for fig_cxl.
+//
+// The paper runs DLHT with its memory pinned on the remote NUMA socket,
+// roughly doubling load-to-use latency. Single-socket boxes cannot do
+// that, so RemoteMemorySim charges each simulated remote access a
+// *dependent* pointer chase through a random cycle of cache lines sized
+// well past the LLC: every hop is a serialized DRAM miss, exactly the
+// cost profile of an on-demand remote load. Batched callers charge one
+// chase per batch (the prefetch wave overlaps the real remote loads);
+// unbatched callers chase per request.
+//
+// Read-only after construction — safe to share across bench threads.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dlht {
+
+class RemoteMemorySim {
+ public:
+  /// `bytes` of chase ring (use >= a few LLCs), `hops` dependent misses
+  /// charged per access() — 2 approximates a CXL hop on top of local DRAM.
+  explicit RemoteMemorySim(std::size_t bytes, int hops)
+      : n_(bytes / sizeof(Line) < 2 ? 2 : bytes / sizeof(Line)),
+        hops_(hops < 1 ? 1 : hops), ring_(std::make_unique<Line[]>(n_)) {
+    // Sattolo's algorithm: a single cycle covering every line, so chases
+    // never settle into a short hot loop the cache could learn.
+    Xoshiro256 rng(0x9e3779b97f4a7c15ull);
+    std::vector<std::uint32_t> perm(n_);
+    for (std::size_t i = 0; i < n_; ++i) perm[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n_ - 1; i > 0; --i) {
+      const std::size_t j = rng.next_below(i);  // j < i: cycle, not fixpoint
+      const std::uint32_t t = perm[i];
+      perm[i] = perm[j];
+      perm[j] = t;
+    }
+    for (std::size_t i = 0; i < n_; ++i) ring_[i].next = perm[i];
+
+    // Calibrate: time a long dependent chase once at construction.
+    constexpr std::size_t kProbe = 1 << 16;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint32_t cur = 0;
+    for (std::size_t i = 0; i < kProbe; ++i) cur = ring_[cur].next;
+    const auto t1 = std::chrono::steady_clock::now();
+    sink_ = cur;  // keep the chase observable
+    ns_per_access_ =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) *
+        static_cast<double>(hops_) / static_cast<double>(kProbe);
+  }
+
+  /// Charge one simulated remote access: `hops` serialized cache misses,
+  /// starting at a key-derived line. Returns a value the compiler cannot
+  /// discard so the chain stays on the critical path.
+  std::uint32_t access(std::uint64_t key) const {
+    std::uint32_t cur = static_cast<std::uint32_t>(fmix64(key) % n_);
+    for (int h = 0; h < hops_; ++h) cur = ring_[cur].next;
+    // Callers may drop the result; keep the dependent loads anyway.
+    asm volatile("" : "+r"(cur));
+    return cur;
+  }
+
+  double measured_ns_per_access() const { return ns_per_access_; }
+
+ private:
+  struct alignas(64) Line {
+    std::uint32_t next = 0;
+  };
+
+  std::size_t n_;
+  int hops_;
+  std::unique_ptr<Line[]> ring_;
+  double ns_per_access_ = 0;
+  std::uint32_t sink_ = 0;
+};
+
+}  // namespace dlht

@@ -46,17 +46,65 @@
 namespace dlht {
 
 struct Options {
-  std::size_t initial_bins = 1 << 16;  // main buckets (rounded up to pow2)
-  double link_ratio = 0.125;           // link-bucket pool as fraction of bins
-  unsigned max_threads = 64;           // sizes the per-thread epoch slots
-  std::size_t fixed_value_size = 0;    // AllocatorMap: 0 = variable-size
-  double max_load_factor = 0.75;       // resize when size > lf * (3 * bins)
-  std::size_t resize_chunk_bins = 512; // bins one helper migrates per claim
+  /// Main-bucket count at construction, rounded up to a power of two
+  /// (minimum 16). Each bucket holds three inline slots, so capacity before
+  /// the first resize is ~3 * initial_bins * max_load_factor.
+  std::size_t initial_bins = 1 << 16;
+  /// Link-bucket (overflow-chain) pool, as a fraction of the main buckets.
+  /// The pool grows on demand, so this sets the pre-allocated floor, not a
+  /// ceiling. The paper's occupancy study (tab01) uses 0.2.
+  double link_ratio = 0.125;
+  /// Upper bound on concurrently live threads touching this table: sizes
+  /// the per-thread epoch slots. Exceeding it aborts with a diagnostic.
+  unsigned max_threads = 64;
+  /// AllocatorMap only: nonzero pins every value block to this size (one
+  /// pool size class, no length header); 0 stores variable-size values.
+  std::size_t fixed_value_size = 0;
+  /// Resize trigger: a grow starts when the entry count exceeds
+  /// max_load_factor * (3 * bins). Checked every ~256 inserts per size
+  /// shard, so expect slight overshoot.
+  double max_load_factor = 0.75;
+  /// Buckets a helping writer migrates per cursor claim during an online
+  /// resize. Smaller chunks = more helper parallelism, more cursor traffic.
+  std::size_t resize_chunk_bins = 512;
+  /// Shadow-table size multiplier when a resize fires. 2/4/8 are flat
+  /// factors; 0 selects the paper's adaptive policy (x8 while the table is
+  /// small, x4 mid-size, x2 at scale) so early growth needs fewer
+  /// migrations. Values below 2 (other than 0) behave as 2.
+  std::size_t growth_factor = 2;
+
+  /// Runtime ablation toggles (fig14/tab01/ablation_design): each disables
+  /// one design feature so its contribution can be measured. Defaults are
+  /// the paper's design. Batching has no toggle here because it is a
+  /// call-site choice: use the scalar API (or the DLHT_ABLATION=nobatch
+  /// bench knob) to ablate it.
+  struct Ablation {
+    /// Off: probes compare full keys in every valid slot instead of
+    /// SWAR-matching the 8-bit header fingerprints first.
+    bool fingerprints = true;
+    /// Off: an insert whose home bucket (and existing chain) is full fails
+    /// with Status::kFull instead of appending a link bucket — the bounded
+    /// one-line index of §3.2.1. Migration during a resize still chains,
+    /// so resizing never silently drops entries.
+    bool link_chains = true;
+    /// Off: put() on an existing key removes the old entry and republishes
+    /// through the two-phase shadow-insert path (three home-lock
+    /// acquisitions) instead of overwriting the value in place under one.
+    bool inplace_updates = true;
+  };
+  Ablation ablation;
 };
 
 enum class OpType : std::uint8_t { kGet = 0, kPut, kInsert, kDelete };
 
-enum class Status : std::uint8_t { kOk = 0, kNotFound, kExists };
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kExists,
+  /// Insert rejected because the home bucket is full and link chains are
+  /// ablated away (Options::Ablation::link_chains == false).
+  kFull,
+};
 
 class DLHT {
  public:
@@ -92,6 +140,7 @@ class DLHT {
 
   /// Current main-bucket count; grows across resizes.
   std::size_t bins() const {
+    EpochManager::Guard g(epoch_);  // the instance must outlive the read
     return cur_.load(std::memory_order_acquire)->mask_ + 1;
   }
   const Options& options() const { return opts_; }
@@ -99,6 +148,51 @@ class DLHT {
   /// Completed shadow-table migrations since construction.
   std::uint64_t resizes_completed() const {
     return resizes_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Alias for resizes_completed() — the counter name the figure benches
+  /// and the paper's occupancy study use.
+  std::uint64_t resizes() const { return resizes_completed(); }
+
+  /// Point-in-time geometry of the current table generation. links_used is
+  /// the number of link (overflow) buckets handed out so far;
+  /// links_capacity is the pool currently provisioned for them (the
+  /// link_ratio floor, demand-grown in chunks). The occupancy benches
+  /// derive slot totals from these instead of re-deriving the core's
+  /// sizing rules.
+  struct Stats {
+    std::size_t bins = 0;
+    std::size_t links_used = 0;
+    std::size_t links_capacity = 0;
+  };
+  Stats stats() const {
+    EpochManager::Guard g(epoch_);  // the instance must outlive the reads
+    const TableInstance* t = cur_.load(std::memory_order_acquire);
+    return Stats{t->mask_ + 1, t->links_used(), t->links_capacity()};
+  }
+
+  /// Force a resize now, regardless of load factor, and help migrate until
+  /// one completes: on return resizes() has advanced by at least one. If a
+  /// resize was already active (even one whose shadow is still being
+  /// allocated by the thread that won the publication race), this call
+  /// helps finish that one instead of stacking another.
+  void grow_now() {
+    EpochManager::Guard g(epoch_);
+    const std::uint64_t before =
+        resizes_completed_.load(std::memory_order_acquire);
+    while (resizes_completed_.load(std::memory_order_acquire) == before) {
+      TableInstance* t = cur_.load(std::memory_order_acquire);
+      TableInstance* n = t->next.load(std::memory_order_acquire);
+      if (n == nullptr) {
+        // Either no resize is active (start one) or the winner has not
+        // published its shadow yet (start_resize no-ops; spin until the
+        // shadow appears).
+        start_resize(t);
+        cpu_relax();
+        continue;
+      }
+      help_migrate(t, n);
+    }
   }
 
   /// Sharded entry count: exact once all mutators are quiescent.
@@ -114,6 +208,10 @@ class DLHT {
 
   // ------------------------------------------------------------ scalar ops
 
+  /// Point lookup. Lock-free and wait-free against writers on the fast
+  /// path: optimistic seqlock probe of the home bucket's cache line,
+  /// chasing link chains and migration redirects as needed. Returns the
+  /// value snapshot, or nullopt when absent. Never blocks a resize.
   std::optional<std::uint64_t> get(std::uint64_t key) const {
     EpochManager::Guard g(epoch_);
     Reply rp;
@@ -122,18 +220,50 @@ class DLHT {
     return std::nullopt;
   }
 
-  /// Insert if absent. Returns false if the key already exists.
+  /// Insert if absent. Returns false if the key already exists — or, with
+  /// link chains ablated off, if the bounded home bucket is full
+  /// (mutate_pinned reports Status::kFull; callers that care can use
+  /// execute_batch to distinguish the two).
   bool insert(std::uint64_t key, std::uint64_t value) {
     EpochManager::Guard g(epoch_);
     return mutate_pinned(hash_(key), key, value, /*upsert=*/false,
                          SlotState::kValid) == Status::kOk;
   }
 
-  /// Upsert. Returns true if an existing value was overwritten.
+  /// Upsert: write `value` for `key`, creating the entry if absent.
+  /// Returns true if an existing value was overwritten. The overwrite is an
+  /// in-place store under the home-bucket lock (one acquisition); with
+  /// Options::Ablation::inplace_updates off it instead removes the old
+  /// entry and republishes through the two-phase shadow path, during which
+  /// concurrent Gets may briefly miss the key (bench-grade semantics).
   bool put(std::uint64_t key, std::uint64_t value) {
     EpochManager::Guard g(epoch_);
-    return mutate_pinned(hash_(key), key, value, /*upsert=*/true,
-                         SlotState::kValid) == Status::kExists;
+    const std::uint64_t h = hash_(key);
+    if (!opts_.ablation.inplace_updates) {
+      // Shadow-first, so a full bounded bucket (link-chain ablation) is
+      // detected before anything is removed — an unstorable fresh key is
+      // rejected, never half-written, and an existing key's slot is freed
+      // only once its replacement can take it.
+      bool existed = false;
+      Status st =
+          mutate_pinned(h, key, value, /*upsert=*/false, SlotState::kShadow);
+      if (st == Status::kExists) {
+        existed = extract_pinned(h, key).has_value();
+        do {  // the freed slot is in this key's own chain; reclaim it
+          st = mutate_pinned(h, key, value, /*upsert=*/false,
+                             SlotState::kShadow);
+        } while (st == Status::kFull);
+      }
+      if (st == Status::kOk) {
+        for (;;) {
+          const int r = try_commit_on(writer_table(h), h, key);
+          if (r >= 0) break;
+        }
+      }
+      return existed;
+    }
+    return mutate_pinned(h, key, value, /*upsert=*/true, SlotState::kValid) ==
+           Status::kExists;
   }
 
   bool erase(std::uint64_t key) { return extract(key).has_value(); }
@@ -379,6 +509,18 @@ class DLHT {
       delete static_cast<TableInstance*>(p);
     }
 
+    /// Link buckets handed out by this generation so far.
+    std::size_t links_used() const {
+      return static_cast<std::size_t>(
+          link_bump_.load(std::memory_order_relaxed));
+    }
+
+    /// Link buckets currently provisioned (floor + demand-grown chunks).
+    std::size_t links_capacity() const {
+      return static_cast<std::size_t>(
+          link_capacity_.load(std::memory_order_acquire));
+    }
+
     Bucket* main_ = nullptr;
     std::size_t mask_ = 0;
 
@@ -455,7 +597,10 @@ class DLHT {
       // Mask to slots in state kValid (2-bit state == 01).
       const std::uint32_t st = static_cast<std::uint32_t>(v1 >> 24) & 0x3fu;
       const std::uint32_t valid = st & ~(st >> 1) & 0x15u;  // bit 2i per slot
-      cand &= ((valid & 1u) << 7) | ((valid & 4u) << 13) | ((valid & 16u) << 19);
+      const std::uint32_t valid_mask =
+          ((valid & 1u) << 7) | ((valid & 4u) << 13) | ((valid & 16u) << 19);
+      // Fingerprint ablation: probe every valid slot by full-key compare.
+      cand = opts_.ablation.fingerprints ? (cand & valid_mask) : valid_mask;
       while (cand != 0) {
         const int i = __builtin_ctz(cand) >> 3;
         const std::uint64_t k = S::load_relaxed(&b->slots[i].key);
@@ -505,9 +650,12 @@ class DLHT {
 
   /// Try the insert/upsert on instance `t`. Returns false (retry at the
   /// shadow) when the home bucket migrated before we got the lock.
+  /// `force_chain` lets migration append link buckets even when the user
+  /// surface has them ablated off — a resize must never drop entries.
   bool try_mutate_on(TableInstance* t, std::uint64_t h, std::uint64_t key,
                      std::uint64_t value, bool upsert,
-                     SlotState publish_state, Status* out) {
+                     SlotState publish_state, Status* out,
+                     bool force_chain = false) {
     const std::uint8_t fp = fp_of(h);
     Bucket* home = &t->main_[h & t->mask_];
     const std::uint64_t hh = lock_bucket(home);
@@ -531,7 +679,10 @@ class DLHT {
           }
           continue;
         }
-        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
+            b->slots[i].key != key) {
+          continue;
+        }
         // Key already present (valid or shadow-reserved).
         if (!upsert) {
           unlock_bucket(home, hh);
@@ -568,8 +719,15 @@ class DLHT {
       return true;
     }
 
-    // Chain is full: append a link bucket. Its contents are written before
-    // the release-store of last->link makes it reachable.
+    // Chain is full. With link chains ablated off (and this not being a
+    // migration copy), the bounded index rejects the insert instead.
+    if (!opts_.ablation.link_chains && !force_chain) {
+      unlock_bucket(home, hh);
+      *out = Status::kFull;
+      return true;
+    }
+    // Append a link bucket. Its contents are written before the
+    // release-store of last->link makes it reachable.
     const std::uint32_t idx = t->alloc_link();
     Bucket* nb = t->link_at(idx);
     nb->slots[0].key = key;
@@ -600,7 +758,10 @@ class DLHT {
       for (int i = 0; i < kSlotsPerBucket; ++i) {
         const SlotState st = hdr::slot_state(bh, i);
         if (st == SlotState::kEmpty) continue;
-        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
+            b->slots[i].key != key) {
+          continue;
+        }
         const std::uint64_t old = b->slots[i].value;
         const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kEmpty);
         if (b == home) {
@@ -639,7 +800,10 @@ class DLHT {
     for (;;) {
       for (int i = 0; i < kSlotsPerBucket; ++i) {
         if (hdr::slot_state(bh, i) != SlotState::kValid) continue;
-        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
+            b->slots[i].key != key) {
+          continue;
+        }
         const std::uint64_t nv = f(b->slots[i].value);
         S::store_relaxed(&b->slots[i].value, nv);
         if (b == home) {
@@ -675,7 +839,10 @@ class DLHT {
     for (;;) {
       for (int i = 0; i < kSlotsPerBucket; ++i) {
         if (hdr::slot_state(bh, i) != SlotState::kShadow) continue;
-        if (hdr::fingerprint(bh, i) != fp || b->slots[i].key != key) continue;
+        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
+            b->slots[i].key != key) {
+          continue;
+        }
         const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kValid);
         if (b == home) {
           unlock_bucket(home, nh);
@@ -759,7 +926,7 @@ class DLHT {
         const std::uint64_t k = b->slots[i].key;
         Status ignored;
         try_mutate_on(n, hash_(k), k, b->slots[i].value, /*upsert=*/false, st,
-                      &ignored);
+                      &ignored, /*force_chain=*/true);
       }
       if (b->link == 0) break;
       b = t->link_at(b->link);
@@ -840,6 +1007,27 @@ class DLHT {
         opts_.max_load_factor * static_cast<double>(capacity)) {
       return;
     }
+    start_resize(t);
+  }
+
+  /// Shadow-table size for a resize of a table with `bins` main buckets:
+  /// Options::growth_factor, with 0 meaning the paper's adaptive 8/4/2
+  /// policy (aggressive while rebuilds are cheap, conservative at scale).
+  std::size_t next_bins(std::size_t bins) const {
+    std::size_t f = opts_.growth_factor;
+    if (f == 0) {
+      f = bins < (std::size_t{1} << 18) ? 8
+          : bins < (std::size_t{1} << 22) ? 4
+                                          : 2;
+    }
+    if (f < 2) f = 2;
+    return bins * f;
+  }
+
+  /// Publish a growth_factor-sized shadow instance for `t` unless a resize
+  /// is already active (or `t` is no longer current — both mean someone
+  /// else got there first, which is fine).
+  void start_resize(TableInstance* t) {
     if (resize_active_.exchange(true, std::memory_order_acq_rel)) return;
     if (cur_.load(std::memory_order_acquire) != t ||
         t->next.load(std::memory_order_relaxed) != nullptr) {
@@ -848,7 +1036,7 @@ class DLHT {
     }
     TableInstance* n;
     try {
-      n = new TableInstance((t->mask_ + 1) * 2, opts_.link_ratio);
+      n = new TableInstance(next_bins(t->mask_ + 1), opts_.link_ratio);
     } catch (...) {
       resize_active_.store(false, std::memory_order_release);
       throw;
@@ -965,6 +1153,62 @@ class AllocatorMap {
     return true;
   }
 
+  // ------------------------------------------------- variable-size keys
+  //
+  // The Fig. 10 surface: keys are byte strings, not u64s. The table key is
+  // a 64-bit wyhash of the key bytes and the block stores
+  //   [8B key-len][8B value-len][key bytes][value bytes]
+  // so every lookup dereferences the block to verify the full key — the
+  // paper's "cliff past 8-byte keys". Use either this _kv surface or the
+  // u64-key surface on one map instance, never both (the block layouts
+  // differ). A full 64-bit hash collision between distinct keys makes
+  // insert_kv report "exists" (~n^2/2^64 — bench-grade, documented).
+
+  bool insert_kv(const void* key, std::size_t klen, const void* value,
+                 std::size_t vlen) {
+    const std::size_t block_len = 16 + klen + vlen;
+    char* blk = static_cast<char*>(pool_.allocate(block_len));
+    const std::uint64_t k64 = klen, v64 = vlen;
+    std::memcpy(blk, &k64, 8);
+    std::memcpy(blk + 8, &v64, 8);
+    std::memcpy(blk + 16, key, klen);
+    std::memcpy(blk + 16 + klen, value, vlen);
+    if (core_.insert(kv_hash(key, klen),
+                     reinterpret_cast<std::uintptr_t>(blk))) {
+      return true;
+    }
+    pool_.deallocate(blk, block_len);
+    return false;
+  }
+
+  /// Pointer to the stored value bytes (and optionally their length), or
+  /// nullptr when absent. Always touches the block: the full key is
+  /// compared before the value pointer is returned. Callers dereferencing
+  /// the result across concurrent erase_kv calls must hold a pin() guard.
+  const char* get_ptr_kv(const void* key, std::size_t klen,
+                         std::size_t* vlen_out = nullptr) const {
+    EpochManager::Guard g(core_.epoch());
+    const auto v = core_.get(kv_hash(key, klen));
+    if (!v) return nullptr;
+    const char* blk =
+        reinterpret_cast<const char*>(static_cast<std::uintptr_t>(*v));
+    std::uint64_t k64, v64;
+    std::memcpy(&k64, blk, 8);
+    std::memcpy(&v64, blk + 8, 8);
+    if (k64 != klen || std::memcmp(blk + 16, key, klen) != 0) return nullptr;
+    if (vlen_out != nullptr) *vlen_out = static_cast<std::size_t>(v64);
+    return blk + 16 + klen;
+  }
+
+  bool erase_kv(const void* key, std::size_t klen) {
+    const auto v = core_.extract(kv_hash(key, klen));
+    if (!v) return false;
+    core_.epoch().retire(
+        reinterpret_cast<char*>(static_cast<std::uintptr_t>(*v)),
+        &AllocatorMap::free_kv_block_cb, this);
+    return true;
+  }
+
   /// Epoch checkpoint: advance if possible and free provably unreachable
   /// retired blocks. Replaces the PR-1 gc_checkpoint() retire list.
   void quiesce() { core_.epoch().quiesce(); }
@@ -976,6 +1220,20 @@ class AllocatorMap {
   bool fixed() const { return opts_.fixed_value_size != 0; }
   std::size_t block_size(std::size_t len) const {
     return fixed() ? opts_.fixed_value_size : len + 8;
+  }
+
+  static std::uint64_t kv_hash(const void* key, std::size_t klen) {
+    return wyhash_bytes(key, klen, 0x5851f42d4c957f2dull);
+  }
+
+  static void free_kv_block_cb(void* p, void* ctx) {
+    auto* self = static_cast<AllocatorMap*>(ctx);
+    char* blk = static_cast<char*>(p);
+    std::uint64_t k64, v64;
+    std::memcpy(&k64, blk, 8);
+    std::memcpy(&v64, blk + 8, 8);
+    self->pool_.deallocate(
+        blk, 16 + static_cast<std::size_t>(k64) + static_cast<std::size_t>(v64));
   }
 
   static void free_block_cb(void* p, void* ctx) {

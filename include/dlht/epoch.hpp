@@ -93,8 +93,14 @@ class EpochManager {
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
-  /// RAII pin. Reentrant per thread: nested guards share the outermost pin,
-  /// so batched entry points can pin once and call scalar internals freely.
+  /// RAII pin. While a Guard lives, any pointer the thread observed through
+  /// the protected structure (a TableInstance, an AllocatorMap value block)
+  /// stays allocated: retirements from its epoch onward cannot be freed
+  /// until the guard drops and the epoch advances past them. Reentrant per
+  /// thread — nested guards share the outermost pin, so batched entry
+  /// points pin once and call scalar internals freely. Guards are cheap
+  /// (two uncontended per-thread stores) but not free; hold them for an
+  /// operation, not for a phase.
   class Guard {
    public:
     explicit Guard(EpochManager& m) : m_(&m), slot_(m.slot_index()) {

@@ -4,10 +4,25 @@
 #   scripts/ci.sh         # everything
 #   scripts/ci.sh main    # Release build + ctest + bench smoke + ASan/UBSan
 #   scripts/ci.sh tsan    # ThreadSanitizer build + concurrency tests only
+#   scripts/ci.sh docs    # every figure binary documented in REPRODUCING.md
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
+
+run_docs() {
+  echo "=== docs: every figure/table binary documented in REPRODUCING.md ==="
+  local missing=0
+  for t in $(grep -oE '^add_executable\((fig|tab|ablation|micro)[0-9a-z_]*' \
+               CMakeLists.txt | sed 's/^add_executable(//' | sort -u); do
+    if ! grep -q "\`$t\`" docs/REPRODUCING.md; then
+      echo "FAIL: bench target '$t' is not documented in docs/REPRODUCING.md" >&2
+      missing=1
+    fi
+  done
+  if [ "$missing" -ne 0 ]; then exit 1; fi
+  echo "docs coverage ok"
+}
 
 run_main() {
   echo "=== configure + build (Release) ==="
@@ -85,8 +100,9 @@ run_tsan() {
 case "$mode" in
   main) run_main ;;
   tsan) run_tsan ;;
-  all)  run_main; run_tsan ;;
-  *)    echo "usage: scripts/ci.sh [main|tsan|all]" >&2; exit 2 ;;
+  docs) run_docs ;;
+  all)  run_docs; run_main; run_tsan ;;
+  *)    echo "usage: scripts/ci.sh [main|tsan|docs|all]" >&2; exit 2 ;;
 esac
 
 echo "CI OK ($mode)"

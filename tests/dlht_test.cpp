@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string_view>
 #include <thread>
@@ -164,6 +165,109 @@ void test_batch_matches_scalar() {
 // (thread 0 also batch-reads everyone's ranges) checks cross-thread
 // visibility invariants. After joining, per-range state must match exactly
 // what the owner last wrote — any lost update fails the final sweep.
+// The runtime ablation toggles must only change performance, never
+// correctness — except link_chains, whose whole point is rejecting inserts
+// a bounded bucket cannot hold.
+void test_ablation_toggles() {
+  std::puts("test_ablation_toggles");
+
+  {  // Fingerprints off: full-key probes, same results, chains included.
+    Options o = tiny_options();
+    o.ablation.fingerprints = false;
+    InlinedMap m(o);
+    constexpr std::uint64_t kN = 8000;
+    for (std::uint64_t k = 1; k <= kN; ++k) CHECK(m.insert(k, k * 5));
+    for (std::uint64_t k = 1; k <= kN; ++k) {
+      CHECK(m.get(k).value_or(0) == k * 5);
+    }
+    CHECK(!m.get(kN + 1).has_value());
+    std::vector<std::uint64_t> ks(64);
+    std::vector<InlinedMap::Reply> out(64);
+    for (std::size_t i = 0; i < ks.size(); ++i) ks[i] = i * 101 + 1;
+    m.get_batch(ks.data(), out.data(), ks.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const bool hit = ks[i] <= kN;
+      CHECK((out[i].status == Status::kOk) == hit);
+      if (hit) CHECK(out[i].value == ks[i] * 5);
+    }
+    for (std::uint64_t k = 1; k <= kN; k += 2) CHECK(m.erase(k));
+    for (std::uint64_t k = 2; k <= kN; k += 2) {
+      CHECK(m.get(k).value_or(0) == k * 5);
+    }
+  }
+
+  {  // Link chains off: a full home bucket rejects, erase makes room again.
+    Options o;
+    o.initial_bins = 16;
+    o.max_load_factor = 1e9;  // never resize: capacity is the point
+    o.ablation.link_chains = false;
+    InlinedMap m(o);
+    std::uint64_t inserted = 0, first_rejected = 0;
+    for (std::uint64_t k = 1; k <= 16 * 3 * 4; ++k) {
+      if (m.insert(k, k)) {
+        ++inserted;
+      } else if (first_rejected == 0) {
+        first_rejected = k;
+      }
+    }
+    CHECK(first_rejected != 0);          // bounded: some bin filled up
+    CHECK(inserted <= 16 * 3);           // cannot exceed the inline slots
+    // Erase an inserted key and reinsert it: chains-off still reuses the
+    // freed slot (same home bucket, so room is guaranteed).
+    CHECK(m.erase(first_rejected - 1));
+    CHECK(m.insert(first_rejected - 1, 7));
+    CHECK(m.get(first_rejected - 1).value_or(0) == 7);
+  }
+
+  {  // In-place updates off: puts keep upsert semantics via the shadow path.
+    Options o = tiny_options();
+    o.ablation.inplace_updates = false;
+    InlinedMap m(o);
+    CHECK(!m.put(9, 90));               // absent -> inserted, no overwrite
+    CHECK(m.get(9).value_or(0) == 90);
+    CHECK(m.put(9, 91));                // present -> overwritten
+    CHECK(m.get(9).value_or(0) == 91);
+    CHECK(m.update(9, [](std::uint64_t v) { return v + 1; }).value_or(0) ==
+          92);
+    CHECK(m.erase(9));
+    CHECK(!m.get(9).has_value());
+  }
+}
+
+void test_variable_kv() {
+  std::puts("test_variable_kv");
+  Options o = tiny_options();
+  AllocatorMap<> m(o);
+  char key[64], val[128];
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof key, "user:%d:profile", i);
+    std::snprintf(val, sizeof val, "payload-%d", i * 7);
+    CHECK(m.insert_kv(key, std::strlen(key), val, std::strlen(val) + 1));
+  }
+  CHECK(!m.insert_kv("user:7:profile", 14, "dup", 4));  // duplicate key
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof key, "user:%d:profile", i);
+    std::snprintf(val, sizeof val, "payload-%d", i * 7);
+    std::size_t vlen = 0;
+    const char* p = m.get_ptr_kv(key, std::strlen(key), &vlen);
+    CHECK(p != nullptr);
+    if (p != nullptr) {
+      CHECK(vlen == std::strlen(val) + 1);
+      CHECK(std::string_view(p) == val);
+    }
+  }
+  CHECK(m.get_ptr_kv("user:9999:profile", 17) == nullptr);
+  for (int i = 0; i < 500; i += 2) {
+    std::snprintf(key, sizeof key, "user:%d:profile", i);
+    CHECK(m.erase_kv(key, std::strlen(key)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof key, "user:%d:profile", i);
+    CHECK((m.get_ptr_kv(key, std::strlen(key)) != nullptr) == (i % 2 == 1));
+  }
+  m.quiesce();
+}
+
 void test_concurrent_stress() {
   std::puts("test_concurrent_stress");
   Options o;
@@ -282,6 +386,8 @@ int main() {
   test_put_get_delete();
   test_shadow_insert();
   test_batch_matches_scalar();
+  test_ablation_toggles();
+  test_variable_kv();
   test_concurrent_stress();
   test_allocator_map();
   if (g_failures != 0) {

@@ -186,10 +186,53 @@ void sequential_growth() {
   CHECK(walked == kN);
 }
 
+// The resizes() counter and Options::growth_factor: the counter ticks once
+// per completed migration, a larger factor reaches the same capacity in
+// strictly fewer migrations, and grow_now() forces exactly one more.
+void growth_factor_policy() {
+  std::puts("growth_factor_policy");
+  constexpr std::uint64_t kN = 50000;
+
+  std::uint64_t counts[3] = {0, 0, 0};
+  const std::size_t factors[3] = {2, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    Options o;
+    o.initial_bins = 64;
+    o.growth_factor = factors[i];
+    InlinedMap m(o);
+    CHECK(m.resizes() == 0);
+    for (std::uint64_t k = 1; k <= kN; ++k) {
+      if (!m.insert(k, k)) CHECK(false);
+    }
+    CHECK(m.resizes() == m.resizes_completed());
+    CHECK(m.resizes() >= 1);  // 64 bins cannot hold 50K keys
+    // Capacity reached: the table holds everything it was fed.
+    CHECK(m.approx_size() == static_cast<std::int64_t>(kN));
+    for (std::uint64_t k = 1; k <= kN; k += 997) {
+      CHECK(m.get(k).value_or(0) == k);
+    }
+    counts[i] = m.resizes();
+
+    // grow_now() forces exactly one more migration and keeps every key.
+    const std::uint64_t before = m.resizes();
+    const std::size_t bins_before = m.bins();
+    m.grow_now();
+    CHECK(m.resizes() == before + 1);
+    CHECK(m.bins() > bins_before);
+    for (std::uint64_t k = 1; k <= kN; k += 997) {
+      CHECK(m.get(k).value_or(0) == k);
+    }
+  }
+  // x4 needs strictly fewer migrations than x2, x8 no more than x4.
+  CHECK(counts[1] < counts[0]);
+  CHECK(counts[2] <= counts[1]);
+}
+
 }  // namespace
 
 int main() {
   sequential_growth();
+  growth_factor_policy();
   churn_across_resizes();
   if (g_failures != 0) {
     std::fprintf(stderr, "%d check(s) FAILED\n", g_failures);
