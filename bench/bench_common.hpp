@@ -7,6 +7,10 @@
 //     --threads-list a,b threads to sweep         (default: 1,2,4 capped at 4x hw)
 //     --ms M             milliseconds per point   (default: 300)
 //     --scale S          multiply default sizes   (default: 1.0)
+//     --json PATH        additionally write a machine-readable summary
+//                        ({fig, config, ops_per_sec, p50/p99_ns, rows}) to
+//                        PATH when the binary exits — the perf-trajectory
+//                        record scripts/bench_json.sh collects in CI
 // The defaults are sized for a small VM; on a big box, raise --keys and
 // --ms toward the paper's configuration (100M keys, multi-second points).
 #pragma once
@@ -52,6 +56,16 @@ inline Options apply_env_knobs(Options o) {
     const auto f = std::strtoull(env, &end, 10);
     if (end != env) o.growth_factor = f;  // non-numeric: keep the default
   }
+  if (const char* env = std::getenv("DLHT_SHRINK_FACTOR")) {
+    char* end = nullptr;
+    const auto f = std::strtoull(env, &end, 10);
+    if (end != env) o.shrink_factor = f;
+  }
+  if (const char* env = std::getenv("DLHT_MIN_LOAD_FACTOR")) {
+    char* end = nullptr;
+    const double f = std::strtod(env, &end);
+    if (end != env && f >= 0.0) o.min_load_factor = f;
+  }
   if (const char* env = std::getenv("DLHT_ABLATION")) {
     if (std::strstr(env, "nofp")) o.ablation.fingerprints = false;
     if (std::strstr(env, "nolink")) o.ablation.link_chains = false;
@@ -83,6 +97,94 @@ struct Args {
 
   double seconds() const { return ms / 1000.0; }
 };
+
+// ------------------------------------------------------------- JSON sink
+//
+// `--json PATH` (or DLHT_BENCH_JSON=PATH) records every print_row() call
+// and writes one JSON object per run at exit:
+//   {"fig": ..., "config": "keys=... ms=... threads=...",
+//    "ops_per_sec": <max throughput row, ops/s>,
+//    "p50_ns": <last p50 row or null>, "p99_ns": <last p99 row or null>,
+//    "rows": [{"series","x","value","unit"}, ...]}
+// ops_per_sec is the best M*/s row (Mreq/s, Minserts/s, Mtxn/s, ...)
+// scaled to ops/s — the single scalar the perf-trajectory CI tracks;
+// p50/p99 come from "ns" rows whose series names the percentile (fig15's
+// Get/p99 style). Everything else rides along in rows[] for offline diffs.
+
+struct JsonSink {
+  std::string path;    // empty = disabled
+  std::string fig;
+  std::string config;
+  double ops_per_sec = 0.0;
+  double p50_ns = -1.0;  // <0 = never seen, serialized as null
+  double p99_ns = -1.0;
+  std::string rows;  // pre-serialized, comma-joined row objects
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink s;
+  return s;
+}
+
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // rows never need them
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void flush_json() {
+  JsonSink& s = json_sink();
+  if (s.path.empty()) return;
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                 s.path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"fig\": \"%s\", \"config\": \"%s\",\n",
+               json_escape(s.fig).c_str(), json_escape(s.config).c_str());
+  std::fprintf(f, " \"ops_per_sec\": %.1f,\n", s.ops_per_sec);
+  if (s.p50_ns >= 0) {
+    std::fprintf(f, " \"p50_ns\": %.1f,\n", s.p50_ns);
+  } else {
+    std::fprintf(f, " \"p50_ns\": null,\n");
+  }
+  if (s.p99_ns >= 0) {
+    std::fprintf(f, " \"p99_ns\": %.1f,\n", s.p99_ns);
+  } else {
+    std::fprintf(f, " \"p99_ns\": null,\n");
+  }
+  std::fprintf(f, " \"rows\": [%s]}\n", s.rows.c_str());
+  std::fclose(f);
+}
+
+inline void json_note_row(const std::string& series, double x, double value,
+                          const char* unit) {
+  JsonSink& s = json_sink();
+  if (s.path.empty()) return;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s{\"series\": \"%s\", \"x\": %g, \"value\": %g, "
+                "\"unit\": \"%s\"}",
+                s.rows.empty() ? "" : ",\n          ",
+                json_escape(series).c_str(), x, value,
+                json_escape(unit).c_str());
+  s.rows += buf;
+  const std::size_t ul = std::strlen(unit);
+  if (unit[0] == 'M' && ul >= 2 && std::strcmp(unit + ul - 2, "/s") == 0) {
+    const double ops = value * 1e6;
+    if (ops > s.ops_per_sec) s.ops_per_sec = ops;
+  }
+  if (std::strcmp(unit, "ns") == 0) {
+    if (series.find("p50") != std::string::npos) s.p50_ns = value;
+    if (series.find("p99") != std::string::npos) s.p99_ns = value;
+  }
+}
 
 inline std::vector<int> default_threads() {
   const int hw = static_cast<int>(hardware_threads());
@@ -119,6 +221,9 @@ inline Args parse_args(int argc, char** argv) {
     auto ts = parse_thread_list(env);
     if (!ts.empty()) a.threads_list = std::move(ts);
   }
+  if (const char* env = std::getenv("DLHT_BENCH_JSON")) {
+    json_sink().path = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -130,15 +235,28 @@ inline Args parse_args(int argc, char** argv) {
       a.ms = std::strtod(next(), nullptr);
     } else if (arg == "--scale") {
       a.scale = std::strtod(next(), nullptr);
+    } else if (arg == "--json") {
+      json_sink().path = next();
     } else if (arg == "--threads-list") {
       auto ts = parse_thread_list(next());
       if (!ts.empty()) a.threads_list = std::move(ts);  // never leave it empty
     }
   }
+  if (!json_sink().path.empty()) {
+    std::string cfg = "keys=" + std::to_string(a.keys) +
+                      " ms=" + std::to_string(a.ms) + " threads=";
+    for (std::size_t i = 0; i < a.threads_list.size(); ++i) {
+      if (i != 0) cfg += ',';
+      cfg += std::to_string(a.threads_list[i]);
+    }
+    json_sink().config = std::move(cfg);
+    std::atexit(flush_json);  // written however the bench exits normally
+  }
   return a;
 }
 
 inline void print_header(const char* figure, const char* description) {
+  json_sink().fig = figure;
   std::printf("# %s — %s\n", figure, description);
   std::printf("# machine: %u hardware threads\n", hardware_threads());
   std::printf("%-18s %-26s %12s %14s  %s\n", "figure", "series", "x", "value",
@@ -150,6 +268,7 @@ inline void print_row(const char* figure, const std::string& series, double x,
   std::printf("%-18s %-26s %12g %14.3f  %s\n", figure, series.c_str(), x,
               value, unit);
   std::fflush(stdout);
+  json_note_row(series, x, value, unit);
 }
 
 /// Shape assertion: prints PASS/WARN so bench output doubles as a smoke

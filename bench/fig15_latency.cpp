@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
           };
         });
     print_row("fig15", "Get/avg", t, rget.avg_latency_ns, "ns");
+    print_row("fig15", "Get/p50", t, static_cast<double>(rget.p50_ns), "ns");
     print_row("fig15", "Get/p99", t, static_cast<double>(rget.p99_ns), "ns");
 
     const auto rid = workload::run_for(

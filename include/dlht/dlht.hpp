@@ -21,6 +21,11 @@
 //    Gets re-probe the shadow on redirect; mutations land in the shadow
 //    after migrating their home bucket). The drained instance is retired
 //    through the epoch scheme, never freed under a live reader.
+//  * Resizes run in both directions: delete-heavy workloads that fall
+//    below Options::min_load_factor trigger a *shrink* through the exact
+//    same shadow-migration machinery (smaller destination, force-chained
+//    overflow, epoch-retired source), so the table gives memory back
+//    instead of parking at its high-water mark.
 #pragma once
 
 #include <atomic>
@@ -72,6 +77,19 @@ struct Options {
   /// small, x4 mid-size, x2 at scale) so early growth needs fewer
   /// migrations. Values below 2 (other than 0) behave as 2.
   std::size_t growth_factor = 2;
+  /// Shrink trigger: a downward resize starts when the entry count falls
+  /// below min_load_factor * (3 * bins). Checked every ~256 erases per
+  /// size shard, and only between resizes. 0 (the default) disables
+  /// automatic shrinking — shrink_now() works regardless — so tables
+  /// pre-sized for a population are never shrunk out from under it.
+  /// Hysteresis guards against grow/shrink flapping: a shrink starts only
+  /// if the survivors fill at most half the grow trigger of the smaller
+  /// table, so one shrink can never bounce straight back into a grow.
+  double min_load_factor = 0.0;
+  /// growth_factor's downward mirror: a shrink migrates into a table of
+  /// bins / shrink_factor main buckets (floored at the 16-bin minimum).
+  /// Values below 2 behave as 2.
+  std::size_t shrink_factor = 2;
 
   /// Runtime ablation toggles (fig14/tab01/ablation_design): each disables
   /// one design feature so its contribution can be measured. Defaults are
@@ -145,7 +163,8 @@ class DLHT {
   }
   const Options& options() const { return opts_; }
 
-  /// Completed shadow-table migrations since construction.
+  /// Completed *growth* migrations since construction (shrinks are
+  /// counted separately by shrinks_completed()).
   std::uint64_t resizes_completed() const {
     return resizes_completed_.load(std::memory_order_relaxed);
   }
@@ -153,6 +172,14 @@ class DLHT {
   /// Alias for resizes_completed() — the counter name the figure benches
   /// and the paper's occupancy study use.
   std::uint64_t resizes() const { return resizes_completed(); }
+
+  /// Completed *shrink* (downward) migrations since construction.
+  std::uint64_t shrinks_completed() const {
+    return shrinks_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Short-form alias, symmetric with resizes().
+  std::uint64_t shrinks() const { return shrinks_completed(); }
 
   /// Point-in-time geometry of the current table generation. links_used is
   /// the number of link (overflow) buckets handed out so far;
@@ -164,11 +191,27 @@ class DLHT {
     std::size_t bins = 0;
     std::size_t links_used = 0;
     std::size_t links_capacity = 0;
+    /// Cumulative main buckets given back by completed shrinks (the sum of
+    /// source-minus-destination bins over every downward migration).
+    std::size_t bins_reclaimed = 0;
+    /// Cumulative link-pool buckets returned with instances retired by
+    /// shrinks — each retired source gives back its whole provisioned pool
+    /// (the new, smaller generation starts a fresh pool, so there is no
+    /// stale accounting carried across the migration).
+    std::size_t links_reclaimed = 0;
   };
   Stats stats() const {
     EpochManager::Guard g(epoch_);  // the instance must outlive the reads
     const TableInstance* t = cur_.load(std::memory_order_acquire);
-    return Stats{t->mask_ + 1, t->links_used(), t->links_capacity()};
+    // links_used can transiently overshoot capacity mid-alloc_link (the
+    // bump is taken before the pool grows); clamp so utilization derived
+    // from these two fields never reads above 100 %.
+    const std::size_t cap = t->links_capacity();
+    std::size_t used = t->links_used();
+    if (used > cap) used = cap;
+    return Stats{t->mask_ + 1, used, cap,
+                 bins_reclaimed_.load(std::memory_order_relaxed),
+                 links_reclaimed_.load(std::memory_order_relaxed)};
   }
 
   /// Force a resize now, regardless of load factor, and help migrate until
@@ -178,21 +221,25 @@ class DLHT {
   /// helps finish that one instead of stacking another.
   void grow_now() {
     EpochManager::Guard g(epoch_);
-    const std::uint64_t before =
-        resizes_completed_.load(std::memory_order_acquire);
-    while (resizes_completed_.load(std::memory_order_acquire) == before) {
-      TableInstance* t = cur_.load(std::memory_order_acquire);
-      TableInstance* n = t->next.load(std::memory_order_acquire);
-      if (n == nullptr) {
-        // Either no resize is active (start one) or the winner has not
-        // published its shadow yet (start_resize no-ops; spin until the
-        // shadow appears).
-        start_resize(t);
-        cpu_relax();
-        continue;
-      }
-      help_migrate(t, n);
-    }
+    force_migration(resizes_completed_, [this](TableInstance* t) {
+      start_resize(t);
+      return true;
+    });
+  }
+
+  /// Force a downward resize now, regardless of load factor, and help
+  /// migrate until one completes: on return shrinks() has advanced by at
+  /// least one. If a resize is already active (grow or shrink), this call
+  /// helps finish it first — a completed grow is followed by starting the
+  /// requested shrink. No-op when the table is already at its minimum
+  /// geometry (shrink_bins() cannot go below 16 bins).
+  void shrink_now() {
+    EpochManager::Guard g(epoch_);
+    force_migration(shrinks_completed_, [this](TableInstance* t) {
+      if (shrink_bins(t->mask_ + 1) >= t->mask_ + 1) return false;  // floor
+      start_shrink(t);
+      return true;
+    });
   }
 
   /// Sharded entry count: exact once all mutators are quiescent.
@@ -976,8 +1023,19 @@ class DLHT {
         bins) {
       // Last bucket done: the shadow becomes the table; the drained
       // instance is retired and reclaimed once every reader epoch drains.
+      const std::size_t new_bins = n->mask_ + 1;
       cur_.store(n, std::memory_order_release);
-      resizes_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (new_bins < bins) {
+        // Downward migration: account what the retired generation gives
+        // back (its bin surplus and its whole link pool — the new
+        // generation starts a fresh pool, so nothing stale carries over).
+        bins_reclaimed_.fetch_add(bins - new_bins, std::memory_order_relaxed);
+        links_reclaimed_.fetch_add(t->links_capacity(),
+                                   std::memory_order_relaxed);
+        shrinks_completed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        resizes_completed_.fetch_add(1, std::memory_order_relaxed);
+      }
       resize_active_.store(false, std::memory_order_release);
       epoch_.retire(t, &TableInstance::delete_cb, nullptr);
       // Checkpoint now so sustained growth keeps at most ~two drained
@@ -997,6 +1055,9 @@ class DLHT {
   void note_erase() {
     Shard& s = shards_[this_thread_index() & (kSizeShards - 1)];
     s.count.fetch_sub(1, std::memory_order_relaxed);
+    if ((s.erases.fetch_add(1, std::memory_order_relaxed) & 255u) == 255u) {
+      maybe_start_shrink();
+    }
   }
 
   void maybe_start_resize() {
@@ -1008,6 +1069,28 @@ class DLHT {
       return;
     }
     start_resize(t);
+  }
+
+  /// Erase-side twin of maybe_start_resize(): start a downward migration
+  /// once occupancy falls below min_load_factor, with hysteresis so the
+  /// smaller table lands at most halfway to its own grow trigger.
+  void maybe_start_shrink() {
+    if (opts_.min_load_factor <= 0.0) return;
+    if (resize_active_.load(std::memory_order_acquire)) return;
+    TableInstance* t = cur_.load(std::memory_order_acquire);
+    const std::size_t bins = t->mask_ + 1;
+    const std::size_t new_bins = shrink_bins(bins);
+    if (new_bins >= bins) return;  // already at the minimum geometry
+    const double size = static_cast<double>(approx_size());
+    if (size >= opts_.min_load_factor *
+                    static_cast<double>(bins * kSlotsPerBucket)) {
+      return;
+    }
+    if (size > 0.5 * opts_.max_load_factor *
+                   static_cast<double>(new_bins * kSlotsPerBucket)) {
+      return;  // hysteresis: would land too close to the grow trigger
+    }
+    start_shrink(t);
   }
 
   /// Shadow-table size for a resize of a table with `bins` main buckets:
@@ -1024,19 +1107,35 @@ class DLHT {
     return bins * f;
   }
 
-  /// Publish a growth_factor-sized shadow instance for `t` unless a resize
-  /// is already active (or `t` is no longer current — both mean someone
-  /// else got there first, which is fine).
-  void start_resize(TableInstance* t) {
+  /// Destination size for a shrink of a table with `bins` main buckets:
+  /// bins / shrink_factor, floored at the 16-bin TableInstance minimum.
+  /// Returns `bins` unchanged when no smaller table is possible.
+  std::size_t shrink_bins(std::size_t bins) const {
+    std::size_t f = opts_.shrink_factor;
+    if (f < 2) f = 2;
+    const std::size_t nb = bins / f;
+    if (nb < 16) return bins <= 16 ? bins : 16;
+    return nb;
+  }
+
+  /// The one shadow-publication protocol, shared by both directions: win
+  /// the resize flag, revalidate that `t` is still current with no shadow
+  /// pending, size the destination via `size_fn` (returning 0 aborts —
+  /// nothing to do at this geometry), and publish it. Losing any check
+  /// means someone else got there first, which is fine.
+  template <class SizeFn>
+  void publish_shadow(TableInstance* t, SizeFn&& size_fn) {
     if (resize_active_.exchange(true, std::memory_order_acq_rel)) return;
+    std::size_t nb = 0;
     if (cur_.load(std::memory_order_acquire) != t ||
-        t->next.load(std::memory_order_relaxed) != nullptr) {
+        t->next.load(std::memory_order_relaxed) != nullptr ||
+        (nb = size_fn(t->mask_ + 1)) == 0) {
       resize_active_.store(false, std::memory_order_release);
       return;
     }
     TableInstance* n;
     try {
-      n = new TableInstance(next_bins(t->mask_ + 1), opts_.link_ratio);
+      n = new TableInstance(nb, opts_.link_ratio);
     } catch (...) {
       resize_active_.store(false, std::memory_order_release);
       throw;
@@ -1044,10 +1143,51 @@ class DLHT {
     t->next.store(n, std::memory_order_release);
   }
 
+  /// Publish a growth_factor-sized shadow instance for `t`.
+  void start_resize(TableInstance* t) {
+    publish_shadow(t, [this](std::size_t bins) { return next_bins(bins); });
+  }
+
+  /// Publish a shrink_factor-smaller shadow instance for `t` (no-op when
+  /// `t` cannot shrink further). From here the machinery is shared with
+  /// growth: writers cooperatively migrate into the smaller table
+  /// (force-chaining when a destination bucket overflows, which is the
+  /// common case since shrink_factor source buckets fold into one), Gets
+  /// follow the migrated-bit redirect, and credit_migrated() retires the
+  /// drained source through the epochs.
+  void start_shrink(TableInstance* t) {
+    publish_shadow(t, [this](std::size_t bins) {
+      const std::size_t nb = shrink_bins(bins);
+      return nb < bins ? nb : std::size_t{0};
+    });
+  }
+
+  /// grow_now()/shrink_now() driver: help until `counter` advances,
+  /// starting a migration via `start` whenever none is pending. `start`
+  /// returning false means nothing can be started at this geometry — give
+  /// up rather than spin. (A pending shadow that is still being allocated
+  /// by the publication winner shows as next == nullptr; `start` then
+  /// no-ops on the flag and the loop spins until the shadow appears.)
+  template <class StartFn>
+  void force_migration(std::atomic<std::uint64_t>& counter, StartFn&& start) {
+    const std::uint64_t before = counter.load(std::memory_order_acquire);
+    while (counter.load(std::memory_order_acquire) == before) {
+      TableInstance* t = cur_.load(std::memory_order_acquire);
+      TableInstance* n = t->next.load(std::memory_order_acquire);
+      if (n == nullptr) {
+        if (!start(t)) return;
+        cpu_relax();
+        continue;
+      }
+      help_migrate(t, n);
+    }
+  }
+
   static constexpr unsigned kSizeShards = 64;
   struct alignas(64) Shard {
     std::atomic<std::int64_t> count{0};
     std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> erases{0};
   };
 
   static inline const Bucket kRedirectBucket{};
@@ -1058,6 +1198,9 @@ class DLHT {
   std::atomic<TableInstance*> cur_{nullptr};
   std::atomic<bool> resize_active_{false};
   std::atomic<std::uint64_t> resizes_completed_{0};
+  std::atomic<std::uint64_t> shrinks_completed_{0};
+  std::atomic<std::uint64_t> bins_reclaimed_{0};
+  std::atomic<std::uint64_t> links_reclaimed_{0};
   Shard shards_[kSizeShards];
 };
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf-trajectory recorder: run a representative smoke-scale slice of the
+# figure benches with --json and collect machine-readable BENCH_<fig>.json
+# summaries ({fig, config, ops_per_sec, p50/p99_ns, rows}) for the CI
+# bench-trajectory job to upload as artifacts. Every CI run then leaves a
+# throughput/latency record, so speedups and regressions across PRs are
+# diffable instead of anecdotal.
+#
+# Usage:
+#   scripts/bench_json.sh [out-dir]     # default out-dir: bench-json
+#   BUILD_DIR=build scripts/bench_json.sh
+#
+# Smoke scales (VM-sized) are deliberately identical to the ctest smokes:
+# trajectory points are only comparable if the config is pinned. The
+# "config" field in each JSON records it regardless.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench-json}"
+build="${BUILD_DIR:-build}"
+
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+if [ ! -x "$build/micro_ops" ]; then
+  cmake -B "$build" -S . "${launcher[@]}"
+fi
+cmake --build "$build" -j
+
+mkdir -p "$out"
+
+run() {  # run <fig-label> <binary> [args...]
+  local fig="$1" bin="$2"
+  shift 2
+  echo "--- $fig"
+  "./$build/$bin" "$@" --json "$out/BENCH_$fig.json" > /dev/null
+  # A trajectory point must parse and carry a real throughput number.
+  grep -q '"fig"' "$out/BENCH_$fig.json"
+  grep -q '"ops_per_sec"' "$out/BENCH_$fig.json"
+}
+
+# Core op costs + the batching pipeline (the repo's headline mechanism).
+run micro_ops micro_ops --keys 65536 --ms 100
+# Scalar/batched Get scaling across threads.
+DLHT_BENCH_THREADS=1,2 run fig03 fig03_get_scaling --keys 16384 --ms 20
+# Batch-size sweep: the software-pipelining win itself.
+run fig12 fig12_batch_size --keys 1048576 --ms 40 --threads-list 1
+# Growth: a live upward resize with Gets running through it.
+run fig08 fig08_resize_timeline --keys 131072
+# Shrink: the downward mirror (delete-heavy phase, bins drop, Gets live).
+run fig_shrink fig_shrink_timeline --keys 131072
+# Closed-loop latency: the p50/p99_ns fields of the trajectory.
+run fig15 fig15_latency --keys 16384 --ms 30 --threads-list 1,2
+# Apps layer: YCSB mixes over the skewed generators.
+run fig18 fig18_ycsb --keys 16384 --ms 25 --threads-list 1,2
+
+echo "=== bench trajectory written ==="
+ls -l "$out"/BENCH_*.json

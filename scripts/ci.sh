@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 
+# Compiler cache: cuts CI rebuild time to seconds once the cache is warm
+# (the GH workflow provisions ccache via hendrikmuhs/ccache-action).
+# Harmless no-op where ccache is not installed.
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_docs() {
   echo "=== docs: every figure/table binary documented in REPRODUCING.md ==="
   local missing=0
@@ -26,7 +34,7 @@ run_docs() {
 
 run_main() {
   echo "=== configure + build (Release) ==="
-  cmake -B build -S .
+  cmake -B build -S . "${launcher[@]}"
   cmake --build build -j
 
   echo "=== ctest ==="
@@ -65,14 +73,15 @@ run_main() {
   echo "apps fig smoke ok"
 
   echo "=== ASan/UBSan build + tests ==="
-  cmake -B build-asan -S . \
+  cmake -B build-asan -S . "${launcher[@]}" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-  cmake --build build-asan -j --target dlht_test resize_churn_test epoch_test \
-    rng_test apps_test
+  cmake --build build-asan -j --target dlht_test resize_churn_test \
+    shrink_churn_test epoch_test rng_test apps_test
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
+  ./build-asan/shrink_churn_test
   ./build-asan/epoch_test
   ./build-asan/rng_test
   ./build-asan/apps_test
@@ -80,14 +89,15 @@ run_main() {
 
 run_tsan() {
   echo "=== TSan build + concurrency tests ==="
-  cmake -B build-tsan -S . \
+  cmake -B build-tsan -S . "${launcher[@]}" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j --target dlht_test resize_churn_test epoch_test \
-    apps_test fig18_ycsb
+  cmake --build build-tsan -j --target dlht_test resize_churn_test \
+    shrink_churn_test epoch_test apps_test fig18_ycsb
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
+  ./build-tsan/shrink_churn_test
   ./build-tsan/epoch_test
   # apps_test's Smallbank conservation run is the first workload doing
   # cross-instance RMW transactions; fig18 exercises the YCSB mixes (incl.

@@ -228,11 +228,80 @@ void growth_factor_policy() {
   CHECK(counts[2] <= counts[1]);
 }
 
+// A full grow -> shrink -> grow round trip on one table: both direction
+// counters advance independently, approx_size stays exact at every phase
+// boundary, and no key is lost crossing migrations in either direction.
+void grow_shrink_grow_cycle() {
+  std::puts("grow_shrink_grow_cycle");
+  Options o;
+  o.initial_bins = 256;
+  o.resize_chunk_bins = 64;
+  o.min_load_factor = 0.2;  // automatic shrinking on
+  o.shrink_factor = 2;
+  InlinedMap m(o);
+
+  // Phase 1 — grow: 20K keys cannot fit in 256 bins.
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    if (!m.insert(k, k * 3 + 1)) CHECK(false);
+  }
+  const std::uint64_t grows1 = m.resizes();
+  CHECK(grows1 >= 1);
+  CHECK(m.shrinks() == 0);
+  CHECK(m.approx_size() == static_cast<std::int64_t>(kN));
+  const std::size_t high_bins = m.bins();
+
+  // Phase 2 — shrink: drain to 500 survivors; the erase-side trigger
+  // cascades downward migrations, erases themselves doing the helping.
+  constexpr std::uint64_t kKeep = 500;
+  for (std::uint64_t k = kKeep + 1; k <= kN; ++k) {
+    if (!m.erase(k)) CHECK(false);
+  }
+  CHECK(m.shrinks() >= 1);
+  CHECK(m.bins() < high_bins);
+  CHECK(m.approx_size() == static_cast<std::int64_t>(kKeep));
+  // shrink_now() deterministically lands one more completed shrink even
+  // if the final cascade was still mid-flight when the erases ran out.
+  const std::uint64_t shrinks_before = m.shrinks();
+  const std::size_t bins_before = m.bins();
+  m.shrink_now();
+  CHECK(m.shrinks() == shrinks_before + 1);
+  CHECK(m.bins() <= bins_before);
+  for (std::uint64_t k = 1; k <= kKeep; ++k) {
+    CHECK(m.get(k).value_or(0) == k * 3 + 1);
+  }
+  CHECK(m.approx_size() == static_cast<std::int64_t>(kKeep));
+  // Every shrink descended from the phase-1 high-water geometry, so the
+  // cumulative reclaim must equal the distance travelled down.
+  const auto s = m.stats();
+  CHECK(s.bins_reclaimed == high_bins - m.bins());
+  CHECK(s.links_reclaimed > 0);
+
+  // Phase 3 — grow again: the shrunken table takes a fresh wave of
+  // inserts and the grow counter advances past its phase-1 value.
+  for (std::uint64_t k = kN + 1; k <= 2 * kN; ++k) {
+    if (!m.insert(k, k * 3 + 1)) CHECK(false);
+  }
+  CHECK(m.resizes() > grows1);
+  CHECK(m.approx_size() == static_cast<std::int64_t>(kKeep + kN));
+  for (std::uint64_t k = kN + 1; k <= 2 * kN; k += 997) {
+    CHECK(m.get(k).value_or(0) == k * 3 + 1);
+  }
+  std::uint64_t walked = 0;
+  m.for_each([&](std::uint64_t, std::uint64_t) { ++walked; });
+  CHECK(walked == kKeep + kN);
+  std::printf("  %llu grows + %llu shrinks, bins %zu high-water -> %zu\n",
+              static_cast<unsigned long long>(m.resizes()),
+              static_cast<unsigned long long>(m.shrinks()), high_bins,
+              m.bins());
+}
+
 }  // namespace
 
 int main() {
   sequential_growth();
   growth_factor_policy();
+  grow_shrink_grow_cycle();
   churn_across_resizes();
   if (g_failures != 0) {
     std::fprintf(stderr, "%d check(s) FAILED\n", g_failures);
