@@ -16,6 +16,7 @@
 #pragma once
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,7 +72,24 @@ inline Options apply_env_knobs(Options o) {
     if (std::strstr(env, "nolink")) o.ablation.link_chains = false;
     if (std::strstr(env, "noinplace")) o.ablation.inplace_updates = false;
   }
+  if (const char* env = std::getenv("DLHT_WAL_FSYNC_OPS")) {
+    char* end = nullptr;
+    const auto f = std::strtoull(env, &end, 10);
+    if (end != env) o.wal_fsync_interval_ops = f;
+  }
+  if (const char* env = std::getenv("DLHT_WAL_COMMIT_US")) {
+    char* end = nullptr;
+    const auto f = std::strtoull(env, &end, 10);
+    if (end != env) o.wal_group_commit_us = static_cast<std::uint32_t>(f);
+  }
   return o;
+}
+
+/// Durable-tier directory for benches that persist (fig_recovery):
+/// DLHT_WAL_DIR, with a per-bench default under /tmp.
+inline std::string wal_dir_or(const char* fallback) {
+  if (const char* env = std::getenv("DLHT_WAL_DIR")) return env;
+  return fallback;
 }
 
 inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
@@ -163,6 +181,14 @@ inline void flush_json() {
   std::fclose(f);
 }
 
+/// SIGTERM/SIGINT handler installed by parse_args when the sink is armed:
+/// write what we have, then die by the original signal.
+inline void flush_json_and_reraise(int sig) {
+  flush_json();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 inline void json_note_row(const std::string& series, double x, double value,
                           const char* unit) {
   JsonSink& s = json_sink();
@@ -251,6 +277,15 @@ inline Args parse_args(int argc, char** argv) {
     }
     json_sink().config = std::move(cfg);
     std::atexit(flush_json);  // written however the bench exits normally
+    // A killed run (CI cancellation, the kill-and-recover harness, ^C)
+    // still emits its partial trajectory: flush the rows recorded so far,
+    // then re-raise with the default action so the exit status stays
+    // "killed by signal". flush_json is not strictly async-signal-safe
+    // (fopen), but these benches only field the signal while parked
+    // between measurement points — a truncated JSON here at worst loses
+    // the trajectory point it was about to lose anyway.
+    std::signal(SIGTERM, flush_json_and_reraise);
+    std::signal(SIGINT, flush_json_and_reraise);
   }
   return a;
 }

@@ -91,6 +91,17 @@ struct Options {
   /// Values below 2 behave as 2.
   std::size_t shrink_factor = 2;
 
+  /// Durability knobs (durability.hpp; ignored by a bare DLHT). Group
+  /// commit: a WAL shard fsyncs once it has buffered this many records
+  /// since its last sync, so one fsync amortizes over a batch of writers.
+  /// wal_sync() forces one regardless.
+  std::size_t wal_fsync_interval_ops = 64;
+  /// Time half of group commit: the background committer thread flushes
+  /// any WAL shard whose oldest buffered record has waited this long, so a
+  /// trickle of writes still becomes durable without filling the ops
+  /// interval. 0 disables the committer thread (explicit wal_sync() only).
+  std::uint32_t wal_group_commit_us = 500;
+
   /// Runtime ablation toggles (fig14/tab01/ablation_design): each disables
   /// one design feature so its contribution can be measured. Defaults are
   /// the paper's design. Batching has no toggle here because it is a
@@ -122,6 +133,11 @@ enum class Status : std::uint8_t {
   /// Insert rejected because the home bucket is full and link chains are
   /// ablated away (Options::Ablation::link_chains == false).
   kFull,
+  /// A durability operation (WAL append/sync, snapshot write) hit a disk
+  /// failure. The in-memory table is unaffected: DurableDLHT reports the
+  /// error once, counts it, and degrades to memory-only mode instead of
+  /// aborting (see durability.hpp).
+  kIOError,
 };
 
 class DLHT {
@@ -470,6 +486,62 @@ class DLHT {
             }
           }
           b = b->link != 0 ? t->link_at(b->link) : nullptr;
+        }
+      }
+      t = t->next.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Snapshot-grade iteration: like for_each, but legal while mutators and
+  /// resizes run. Pins an epoch Guard for the whole walk (no visited
+  /// instance can be reclaimed underneath it) and reads each bucket through
+  /// the seqlock (header, slots, fence, header re-check), so no torn slot
+  /// is ever emitted. The view is *fuzzy*, not a point-in-time cut: a
+  /// bucket whose chain migrates mid-walk can be emitted from both the old
+  /// and the shadow instance, and entries mutated during the walk surface
+  /// as whichever version the seqlock captured. Consumers must therefore
+  /// treat emissions last-writer-wins per key (durability.hpp loads
+  /// snapshots as upserts and replays the WAL suffix on top, which makes
+  /// the fuzziness converge to the true final state).
+  template <class F>
+  void for_each_snapshot(F&& f) const {
+    EpochManager::Guard g(epoch_);
+    const TableInstance* t = cur_.load(std::memory_order_acquire);
+    std::uint64_t keys[kSlotsPerBucket];
+    std::uint64_t vals[kSlotsPerBucket];
+    while (t != nullptr) {
+      for (std::size_t idx = 0; idx <= t->mask_; ++idx) {
+        const Bucket* b = &t->main_[idx];
+        bool redirected = false;
+        while (b != nullptr && !redirected) {
+          int nv = 0;
+          for (;;) {
+            const std::uint64_t v1 = S::load_acquire(&b->header);
+            if (hdr::locked(v1)) {
+              cpu_relax();
+              continue;
+            }
+            if (hdr::migrated(v1)) {
+              // The whole chain (re)appears in the shadow instance; emitting
+              // it there too only duplicates, never loses.
+              redirected = true;
+              break;
+            }
+            nv = 0;
+            for (int i = 0; i < kSlotsPerBucket; ++i) {
+              if (hdr::slot_state(v1, i) == SlotState::kValid) {
+                keys[nv] = S::load_relaxed(&b->slots[i].key);
+                vals[nv] = S::load_relaxed(&b->slots[i].value);
+                ++nv;
+              }
+            }
+            __atomic_thread_fence(__ATOMIC_ACQUIRE);
+            if (S::load_relaxed(&b->header) == v1) break;  // stable read
+          }
+          if (redirected) break;
+          for (int i = 0; i < nv; ++i) f(keys[i], vals[i]);
+          const std::uint32_t lk = __atomic_load_n(&b->link, __ATOMIC_ACQUIRE);
+          b = lk != 0 ? t->link_at(lk) : nullptr;
         }
       }
       t = t->next.load(std::memory_order_acquire);

@@ -1,0 +1,1000 @@
+// Durable tier for DLHT: epoch-consistent snapshots + a per-shard
+// write-ahead log with group commit, crash-recovery replay, and a
+// fault-injection file layer so recovery is tested against injected
+// corruption, not just clean shutdowns.
+//
+// Design:
+//  * WAL. Mutations append fixed 32-byte records [crc|op|lsn|key|value] to
+//    one of wal_shards log files (shard = hash(key) & mask, so every
+//    operation on a key lands in one file in apply order). A record is
+//    buffered, then flushed+fsynced by group commit: once a shard has
+//    Options::wal_fsync_interval_ops records pending, or a background
+//    committer thread notices a record older than
+//    Options::wal_group_commit_us, one fsync covers the whole batch.
+//    wal_sync() forces durability explicitly — an op is *committed* only
+//    once a sync covering it has succeeded.
+//  * Snapshot. checkpoint() rotates the WAL segments, takes an LSN barrier
+//    (all ops with lsn <= L are applied), then streams
+//    DLHT::for_each_snapshot into snapshot-<L>.dlht: a CRC32C-framed
+//    header, [klen|vlen|key|value] entries in CRC-framed chunks, a count
+//    footer, fsync, and an atomic rename into place. The snapshot is fuzzy
+//    (taken under concurrent writers); fuzziness converges because the
+//    loader applies entries as upserts and the whole WAL suffix with
+//    lsn > L replays on top in LSN order.
+//  * Recovery. open() loads the newest snapshot whose every frame
+//    validates (falling back to older ones), replays all WAL records past
+//    its LSN sorted by LSN, truncates torn tails (a partial or
+//    CRC-corrupt final record — the SIGKILL signature), and rejects
+//    everything after a corrupt record. Committed ops are never lost;
+//    uncommitted tail ops may be.
+//  * Failure policy. No abort() on disk failure: the first op that
+//    observes a WAL write/sync error returns Status::kIOError, the tier
+//    degrades to memory-only mode, and stats() surfaces io_errors +
+//    degraded so the caller can alarm instead of crashing.
+//  * FaultyFile. Every file the tier writes can be wrapped by a fault
+//    injector (short/torn writes, bit-flipped records, fail-at-Nth-sync)
+//    driven by a FaultSpec — tests/recovery_test.cpp runs the crash-point
+//    matrix and tests/kill_recover_test.sh SIGKILLs a live writer.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "dlht/dlht.hpp"
+
+namespace dlht {
+
+// ---------------------------------------------------------------- CRC32C
+//
+// Castagnoli CRC (the checksum every record and snapshot frame carries).
+// Hardware SSE4.2 path when the build targets it, table-driven fallback
+// otherwise — both produce the standard reflected CRC-32C.
+
+namespace detail_crc {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+struct Table {
+  std::uint32_t v[256];
+  constexpr Table() : v() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      v[i] = c;
+    }
+  }
+};
+inline constexpr Table kTable{};
+
+}  // namespace detail_crc
+
+inline std::uint32_t crc32c(const void* data, std::size_t n,
+                            std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+#if defined(__SSE4_2__)
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = static_cast<std::uint32_t>(__builtin_ia32_crc32di(c, w));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = __builtin_ia32_crc32qi(c, *p++);
+    --n;
+  }
+#else
+  while (n > 0) {
+    c = detail_crc::kTable.v[(c ^ *p++) & 0xffu] ^ (c >> 8);
+    --n;
+  }
+#endif
+  return ~c;
+}
+
+// ------------------------------------------------------- fault injection
+
+/// Knobs for the FaultyFile wrapper. Counters are shared across every file
+/// the owning tier opens, so "the Nth write" means the Nth write the whole
+/// tier performs — tests aim a fault at a specific record by counting.
+/// All triggers are 1-based; 0 disables.
+struct FaultSpec {
+  /// Nth append persists only its first half, then the file goes dead
+  /// (simulates a crash mid-write: the torn record is the file's tail).
+  std::uint64_t torn_write_at = 0;
+  /// Nth append lands with one flipped bit (its CRC no longer matches),
+  /// then the file goes dead — the recovery-must-reject-bad-CRC case.
+  std::uint64_t flip_write_at = 0;
+  /// Nth sync — and every later one — reports failure without writing
+  /// anything further. Data already appended stays, but nothing new
+  /// becomes durable (the degrade-to-memory case).
+  std::uint64_t fail_sync_at = 0;
+
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> syncs{0};
+};
+
+/// Parse the DLHT_FAULT env syntax used by the kill-and-recover harness:
+/// "torn:N", "flip:N", "failsync:N". Unrecognized strings leave the spec
+/// zeroed (no injection).
+inline void parse_fault_env(const char* s, FaultSpec* out) {
+  if (s == nullptr || out == nullptr) return;
+  const char* colon = std::strchr(s, ':');
+  if (colon == nullptr) return;
+  const std::uint64_t n = std::strtoull(colon + 1, nullptr, 10);
+  if (n == 0) return;
+  if (std::strncmp(s, "torn", 4) == 0) out->torn_write_at = n;
+  if (std::strncmp(s, "flip", 4) == 0) out->flip_write_at = n;
+  if (std::strncmp(s, "failsync", 8) == 0) out->fail_sync_at = n;
+}
+
+/// Minimal append-only file the durable tier writes through, so the fault
+/// injector can sit between the tier and the kernel.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual bool append(const void* p, std::size_t n) = 0;
+  virtual bool sync() = 0;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  static std::unique_ptr<PosixWritableFile> open(const std::string& path,
+                                                 bool truncate) {
+    const int flags = O_CREAT | O_WRONLY | O_APPEND | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return nullptr;
+    return std::unique_ptr<PosixWritableFile>(new PosixWritableFile(fd));
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool append(const void* p, std::size_t n) override {
+    const auto* c = static_cast<const char*>(p);
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, c, n);
+      if (w < 0) return false;
+      c += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  bool sync() override { return ::fdatasync(fd_) == 0; }
+
+ private:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Fault-injecting wrapper: forwards to the wrapped file until a FaultSpec
+/// trigger fires, then produces exactly the corruption the spec asks for
+/// and reports failure so the tier's degrade path runs.
+class FaultyFile final : public WritableFile {
+ public:
+  FaultyFile(std::unique_ptr<WritableFile> base, FaultSpec* spec)
+      : base_(std::move(base)), spec_(spec) {}
+
+  bool append(const void* p, std::size_t n) override {
+    if (dead_) return false;
+    const std::uint64_t i =
+        spec_->writes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (spec_->torn_write_at != 0 && i == spec_->torn_write_at) {
+      base_->append(p, n / 2);  // half a record, then the "machine dies"
+      base_->sync();
+      dead_ = true;
+      return false;
+    }
+    if (spec_->flip_write_at != 0 && i == spec_->flip_write_at) {
+      std::vector<unsigned char> buf(static_cast<const unsigned char*>(p),
+                                     static_cast<const unsigned char*>(p) + n);
+      buf[n / 2] ^= 0x10;  // payload no longer matches its CRC
+      base_->append(buf.data(), n);
+      base_->sync();
+      dead_ = true;
+      return false;
+    }
+    return base_->append(p, n);
+  }
+
+  bool sync() override {
+    if (dead_) return false;
+    const std::uint64_t i =
+        spec_->syncs.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (spec_->fail_sync_at != 0 && i >= spec_->fail_sync_at) return false;
+    return base_->sync();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultSpec* spec_;
+  bool dead_ = false;
+};
+
+// ------------------------------------------------------- WAL record codec
+//
+// Fixed 32-byte frames so a torn tail is detectable by length alone:
+//   [ 0.. 3]  CRC32C over bytes 4..31
+//   [ 4    ]  op (1 = put/upsert, 2 = insert-if-absent, 3 = delete)
+//   [ 5.. 7]  zero
+//   [ 8..15]  LSN (strictly increasing within one shard file)
+//   [16..23]  key
+//   [24..31]  value (zero for deletes)
+
+enum class WalOp : std::uint8_t { kPut = 1, kInsert = 2, kDelete = 3 };
+
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  WalOp op = WalOp::kPut;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+inline constexpr std::size_t kWalRecordBytes = 32;
+
+inline void wal_encode(const WalRecord& r, std::uint8_t out[kWalRecordBytes]) {
+  std::memset(out, 0, kWalRecordBytes);
+  out[4] = static_cast<std::uint8_t>(r.op);
+  std::memcpy(out + 8, &r.lsn, 8);
+  std::memcpy(out + 16, &r.key, 8);
+  std::memcpy(out + 24, &r.value, 8);
+  const std::uint32_t crc = crc32c(out + 4, kWalRecordBytes - 4);
+  std::memcpy(out, &crc, 4);
+}
+
+/// What the end of a decoded log looked like. kTorn (a partial final
+/// record) is the expected crash signature and is truncated on recovery;
+/// kCorrupt (a full record whose CRC or framing is wrong) also ends the
+/// trusted prefix — nothing after it is replayed.
+enum class WalTail { kClean, kTorn, kCorrupt };
+
+struct WalDecodeResult {
+  std::vector<WalRecord> records;
+  std::size_t valid_bytes = 0;  // trusted prefix; truncate the file to this
+  WalTail tail = WalTail::kClean;
+};
+
+/// Decode an arbitrary byte buffer as a shard log. Total function: any
+/// input (random bytes, truncations, bit flips) yields a result without
+/// UB — the fuzz test in tests/recovery_test.cpp runs this under
+/// ASan/UBSan on random strings.
+inline WalDecodeResult wal_decode(const std::uint8_t* p, std::size_t n) {
+  WalDecodeResult out;
+  std::size_t off = 0;
+  std::uint64_t prev_lsn = 0;
+  while (n - off >= kWalRecordBytes) {
+    const std::uint8_t* rec = p + off;
+    std::uint32_t crc;
+    std::memcpy(&crc, rec, 4);
+    if (crc != crc32c(rec + 4, kWalRecordBytes - 4)) {
+      out.tail = WalTail::kCorrupt;
+      return out;
+    }
+    WalRecord r;
+    const std::uint8_t op = rec[4];
+    if (op < 1 || op > 3 || rec[5] != 0 || rec[6] != 0 || rec[7] != 0) {
+      out.tail = WalTail::kCorrupt;
+      return out;
+    }
+    r.op = static_cast<WalOp>(op);
+    std::memcpy(&r.lsn, rec + 8, 8);
+    std::memcpy(&r.key, rec + 16, 8);
+    std::memcpy(&r.value, rec + 24, 8);
+    if (r.lsn <= prev_lsn) {  // shard files are strictly LSN-ordered
+      out.tail = WalTail::kCorrupt;
+      return out;
+    }
+    prev_lsn = r.lsn;
+    out.records.push_back(r);
+    off += kWalRecordBytes;
+    out.valid_bytes = off;
+  }
+  if (off < n) out.tail = WalTail::kTorn;
+  return out;
+}
+
+// ------------------------------------------------------- snapshot format
+//
+// snapshot-<lsn>.dlht, written to a .tmp and renamed into place:
+//   header (32B): [magic 8][version 4][flags 4][lsn 8][crc 4][pad 4]
+//                 crc = CRC32C over the first 24 bytes
+//   chunks:       [len u32][crc u32][payload], payload = repeated
+//                 [klen u32][vlen u32][key bytes][value bytes]
+//                 (klen = vlen = 8 for the u64 table)
+//   footer:       a len==0 chunk header, then [count u64][crc u32]
+// Every frame validates before any entry is applied, so a corrupt
+// snapshot never half-loads.
+
+inline constexpr std::uint64_t kSnapshotMagic = 0x31504e5354484c44ull;  // DLHTSNP1
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotChunkTarget = 60 * 1024;
+
+inline bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  if (sz < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<std::size_t>(sz));
+  const std::size_t got = sz == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  return got == out->size();
+}
+
+/// Parsed-and-validated snapshot: entries are only exposed when every
+/// frame (header, each chunk, footer count) checks out.
+struct SnapshotContents {
+  std::uint64_t lsn = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+};
+
+inline bool snapshot_parse(const std::vector<std::uint8_t>& buf,
+                           SnapshotContents* out) {
+  const std::uint8_t* p = buf.data();
+  std::size_t n = buf.size();
+  if (n < 32) return false;
+  std::uint64_t magic;
+  std::uint32_t version, crc;
+  std::memcpy(&magic, p, 8);
+  std::memcpy(&version, p + 8, 4);
+  std::memcpy(&crc, p + 24, 4);
+  if (magic != kSnapshotMagic || version != kSnapshotVersion) return false;
+  if (crc != crc32c(p, 24)) return false;
+  std::memcpy(&out->lsn, p + 16, 8);
+  std::size_t off = 32;
+  out->entries.clear();
+  for (;;) {
+    if (n - off < 8) return false;
+    std::uint32_t len, ccrc;
+    std::memcpy(&len, p + off, 4);
+    std::memcpy(&ccrc, p + off + 4, 4);
+    off += 8;
+    if (len == 0) {  // footer
+      if (n - off < 12) return false;
+      std::uint64_t count;
+      std::uint32_t fcrc;
+      std::memcpy(&count, p + off, 8);
+      std::memcpy(&fcrc, p + off + 8, 4);
+      if (fcrc != crc32c(p + off, 8)) return false;
+      return out->entries.size() == count;
+    }
+    if (len > n - off) return false;
+    if (ccrc != crc32c(p + off, len)) return false;
+    std::size_t coff = 0;
+    while (coff < len) {
+      if (len - coff < 8) return false;
+      std::uint32_t klen, vlen;
+      std::memcpy(&klen, p + off + coff, 4);
+      std::memcpy(&vlen, p + off + coff + 4, 4);
+      coff += 8;
+      if (klen != 8 || vlen != 8 || len - coff < 16) return false;
+      std::uint64_t k, v;
+      std::memcpy(&k, p + off + coff, 8);
+      std::memcpy(&v, p + off + coff + 8, 8);
+      coff += 16;
+      out->entries.emplace_back(k, v);
+    }
+    off += len;
+  }
+}
+
+// ------------------------------------------------------------ WAL shard
+
+namespace detail_wal {
+
+/// One shard of the log: a mutex-serialized append buffer over an
+/// append-only file. append_locked() is called with the mutex held by
+/// DurableDLHT, which also applies the table op inside the same critical
+/// section — so within a shard (and therefore per key), file order, LSN
+/// order, and apply order are all the same order.
+struct Shard {
+  std::mutex mu;
+  std::string path;
+  std::unique_ptr<WritableFile> file;
+  std::vector<std::uint8_t> buf;      // encoded records not yet write()n
+  std::size_t pending_ops = 0;        // records since the last good sync
+  std::uint64_t oldest_pending_ns = 0;
+  std::uint64_t rotations = 0;
+  bool io_failed = false;
+
+  /// Flush the buffer and fsync. True on success.
+  bool sync_locked(std::atomic<std::uint64_t>* bytes,
+                   std::atomic<std::uint64_t>* syncs) {
+    if (file == nullptr) return false;
+    if (!buf.empty()) {
+      if (!file->append(buf.data(), buf.size())) {
+        io_failed = true;
+        return false;
+      }
+      if (bytes != nullptr) {
+        bytes->fetch_add(buf.size(), std::memory_order_relaxed);
+      }
+      buf.clear();
+    }
+    if (!file->sync()) {
+      io_failed = true;
+      return false;
+    }
+    if (syncs != nullptr) syncs->fetch_add(1, std::memory_order_relaxed);
+    pending_ops = 0;
+    oldest_pending_ns = 0;
+    return true;
+  }
+};
+
+inline std::uint64_t wall_ns() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace detail_wal
+
+// ---------------------------------------------------------- durable tier
+
+struct DurabilityOptions {
+  /// Directory holding snapshot-<lsn>.dlht and wal-<shard>.log. Created if
+  /// absent. Empty string = durability disabled (pure in-memory tier that
+  /// still answers the API, with degraded() == false and nothing logged).
+  std::string dir;
+  /// Log shards (rounded up to a power of two). More shards = more append
+  /// concurrency and more files to fsync per wal_sync().
+  unsigned wal_shards = 4;
+  /// Non-null: wrap every file in a FaultyFile driven by this spec.
+  FaultSpec* faults = nullptr;
+};
+
+/// DLHT + durability. All table reads pass straight through to the core;
+/// mutations write ahead to a WAL shard and apply inside the same shard
+/// critical section. See the file header for the full contract.
+///
+/// Concurrent same-key writers serialize through the key's shard, so the
+/// recovered state is always a legal serialization of the pre-crash ops.
+class DurableDLHT {
+ public:
+  using Reply = DLHT::Reply;
+
+  DurableDLHT(const Options& o, DurabilityOptions d)
+      : opts_(o), dopts_(std::move(d)), core_(o) {
+    unsigned s = 1;
+    while (s < dopts_.wal_shards) s <<= 1;
+    shards_.resize(s);
+    for (auto& sh : shards_) sh = std::make_unique<detail_wal::Shard>();
+  }
+
+  ~DurableDLHT() { close(); }
+
+  DurableDLHT(const DurableDLHT&) = delete;
+  DurableDLHT& operator=(const DurableDLHT&) = delete;
+
+  /// Create/attach the durable directory: load the newest valid snapshot,
+  /// replay the WAL suffix, truncate torn tails, open the shard logs for
+  /// append, and start the group-commit thread. Call once, before any
+  /// mutation. kOk on success (including a fresh empty dir); kIOError when
+  /// the directory cannot be used — the tier then serves memory-only.
+  Status open() {
+    if (opened_) return Status::kOk;
+    if (dopts_.dir.empty()) {
+      opened_ = true;  // explicitly in-memory: nothing to recover or log
+      return Status::kOk;
+    }
+    if (::mkdir(dopts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return fail_io();
+    }
+    recover();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      auto& sh = *shards_[i];
+      sh.path = shard_path(i);
+      sh.file = open_file(sh.path, /*truncate=*/false);
+      if (sh.file == nullptr) return fail_io();
+    }
+    opened_ = true;
+    if (opts_.wal_group_commit_us > 0) {
+      committer_ = std::thread([this] { committer_loop(); });
+    }
+    return Status::kOk;
+  }
+
+  /// Stop the committer and flush whatever the WAL still buffers. Safe to
+  /// call twice; the destructor calls it.
+  void close() {
+    if (committer_.joinable()) {
+      stop_.store(true, std::memory_order_release);
+      committer_.join();
+    }
+    if (opened_ && !dopts_.dir.empty()) wal_sync();
+    opened_ = false;
+  }
+
+  // ------------------------------------------------------------- reads
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    return core_.get(key);
+  }
+  void get_batch(const std::uint64_t* keys, Reply* out, std::size_t n) const {
+    core_.get_batch(keys, out, n);
+  }
+
+  // --------------------------------------------------------- mutations
+  //
+  // Each returns the table outcome, except that the op which first
+  // observes a WAL failure returns kIOError (its table effect still
+  // happened); from then on the tier is degraded() and memory-only.
+
+  Status put(std::uint64_t key, std::uint64_t value) {
+    return log_and_apply(WalOp::kPut, key, value);
+  }
+
+  Status insert(std::uint64_t key, std::uint64_t value) {
+    return log_and_apply(WalOp::kInsert, key, value);
+  }
+
+  Status erase(std::uint64_t key) {
+    return log_and_apply(WalOp::kDelete, key, 0);
+  }
+
+  /// RMW mirror of DLHT::update(): the *result* value is logged as a put
+  /// (replay cannot re-run `f`, so it must not). Absent key = no write,
+  /// nothing logged. `io_out`, when non-null, receives kIOError/kOk for
+  /// the logging side.
+  template <class F>
+  std::optional<std::uint64_t> update(std::uint64_t key, F&& f,
+                                      Status* io_out = nullptr) {
+    std::shared_lock<std::shared_mutex> sl(snap_mu_);
+    detail_wal::Shard& sh = shard_of(key);
+    std::unique_lock<std::mutex> g(sh.mu);
+    auto out = core_.update(key, std::forward<F>(f));
+    Status io = Status::kOk;
+    if (out.has_value()) {
+      io = append_locked(sh, WalOp::kPut, key, *out);
+    }
+    g.unlock();
+    if (io_out != nullptr) *io_out = io;
+    return out;
+  }
+
+  // -------------------------------------------------------- durability
+
+  /// Force group commit now on every shard: on kOk, every op that returned
+  /// before this call is durable (the harness's commit point).
+  Status wal_sync() {
+    if (!logging()) return degraded() ? Status::kIOError : Status::kOk;
+    bool ok = true;
+    for (auto& shp : shards_) {
+      detail_wal::Shard& sh = *shp;
+      std::lock_guard<std::mutex> g(sh.mu);
+      if (sh.pending_ops == 0 && sh.buf.empty()) continue;
+      ok &= sh.sync_locked(&wal_bytes_, &syncs_);
+    }
+    if (!ok) return fail_io();
+    return Status::kOk;
+  }
+
+  /// Snapshot + WAL rotation + garbage collection:
+  ///  1. sync and rotate every shard segment (frozen segments now hold
+  ///     only records that the upcoming barrier covers),
+  ///  2. LSN barrier L (unique-lock the op gate: all lsn <= L applied),
+  ///  3. stream the table into snapshot-<L>.dlht.tmp, fsync, rename,
+  ///  4. delete the frozen segments and any older snapshot.
+  /// On any IO failure the old snapshot and logs stay authoritative.
+  Status checkpoint() {
+    if (!logging()) return degraded() ? Status::kIOError : Status::kOk;
+    std::lock_guard<std::mutex> cg(checkpoint_mu_);
+    std::vector<std::string> frozen;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      detail_wal::Shard& sh = *shards_[i];
+      std::lock_guard<std::mutex> g(sh.mu);
+      if (!sh.sync_locked(&wal_bytes_, &syncs_)) return fail_io();
+      const std::string old =
+          sh.path + "." + std::to_string(sh.rotations++) + ".old";
+      if (::rename(sh.path.c_str(), old.c_str()) != 0 && errno != ENOENT) {
+        return fail_io();
+      }
+      frozen.push_back(old);
+      sh.file = open_file(sh.path, /*truncate=*/true);
+      if (sh.file == nullptr) return fail_io();
+    }
+    std::uint64_t barrier;
+    {
+      // Every in-flight op holds snap_mu_ shared across lsn-assign + apply,
+      // so after this exclusive section all lsn <= barrier are applied.
+      std::unique_lock<std::shared_mutex> ul(snap_mu_);
+      barrier = lsn_.load(std::memory_order_relaxed);
+    }
+    const Status st = write_snapshot(barrier);
+    if (st != Status::kOk) return st;
+    for (const std::string& f : frozen) ::unlink(f.c_str());
+    gc_snapshots(barrier);
+    return Status::kOk;
+  }
+
+  // ------------------------------------------------------------- stats
+
+  struct Stats {
+    DLHT::Stats core;
+    std::uint64_t lsn = 0;
+    std::uint64_t records_logged = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t snapshot_bytes = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t snapshots_written = 0;
+    /// Disk failures observed (appends/syncs/snapshot writes). Nonzero
+    /// with degraded set means the tier kept serving from memory.
+    std::uint64_t io_errors = 0;
+    bool degraded = false;
+    /// What recovery found at open(): the snapshot LSN it loaded (0 =
+    /// none) and how many WAL records it replayed past it.
+    std::uint64_t recovered_snapshot_lsn = 0;
+    std::uint64_t replayed_records = 0;
+  };
+
+  Stats stats() const {
+    Stats s;
+    s.core = core_.stats();
+    s.lsn = lsn_.load(std::memory_order_relaxed);
+    s.records_logged = records_logged_.load(std::memory_order_relaxed);
+    s.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+    s.snapshot_bytes = snapshot_bytes_.load(std::memory_order_relaxed);
+    s.syncs = syncs_.load(std::memory_order_relaxed);
+    s.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+    s.io_errors = io_errors_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.recovered_snapshot_lsn = recovered_snapshot_lsn_;
+    s.replayed_records = replayed_records_;
+    return s;
+  }
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  std::uint64_t last_lsn() const { return lsn_.load(std::memory_order_relaxed); }
+  std::int64_t approx_size() const { return core_.approx_size(); }
+  DLHT& core() { return core_; }
+  const DLHT& core() const { return core_; }
+
+  template <class F>
+  void for_each(F&& f) const {
+    core_.for_each(std::forward<F>(f));
+  }
+
+ private:
+  bool logging() const {
+    return opened_ && !dopts_.dir.empty() &&
+           !degraded_.load(std::memory_order_acquire);
+  }
+
+  Status fail_io() {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.store(true, std::memory_order_release);
+    return Status::kIOError;
+  }
+
+  detail_wal::Shard& shard_of(std::uint64_t key) {
+    return *shards_[hash_(key) & (shards_.size() - 1)];
+  }
+
+  std::string shard_path(std::size_t i) const {
+    return dopts_.dir + "/wal-" + std::to_string(i) + ".log";
+  }
+
+  std::unique_ptr<WritableFile> open_file(const std::string& path,
+                                          bool truncate) {
+    std::unique_ptr<WritableFile> f = PosixWritableFile::open(path, truncate);
+    if (f != nullptr && dopts_.faults != nullptr) {
+      f = std::make_unique<FaultyFile>(std::move(f), dopts_.faults);
+    }
+    return f;
+  }
+
+  /// Buffer one record under the shard lock; group commit decides when it
+  /// hits the disk. Returns kIOError when a flush this append triggered
+  /// failed (the tier degrades); the caller's table op proceeds regardless.
+  Status append_locked(detail_wal::Shard& sh, WalOp op, std::uint64_t key,
+                       std::uint64_t value) {
+    if (!logging()) return Status::kOk;
+    WalRecord r;
+    r.lsn = lsn_.fetch_add(1, std::memory_order_relaxed) + 1;
+    r.op = op;
+    r.key = key;
+    r.value = value;
+    std::uint8_t frame[kWalRecordBytes];
+    wal_encode(r, frame);
+    sh.buf.insert(sh.buf.end(), frame, frame + kWalRecordBytes);
+    records_logged_.fetch_add(1, std::memory_order_relaxed);
+    if (sh.pending_ops++ == 0) {
+      sh.oldest_pending_ns = detail_wal::wall_ns();
+    }
+    if (sh.pending_ops >=
+        (opts_.wal_fsync_interval_ops != 0 ? opts_.wal_fsync_interval_ops
+                                           : std::size_t{1})) {
+      if (!sh.sync_locked(&wal_bytes_, &syncs_)) return fail_io();
+    }
+    return Status::kOk;
+  }
+
+  Status log_and_apply(WalOp op, std::uint64_t key, std::uint64_t value) {
+    std::shared_lock<std::shared_mutex> sl(snap_mu_);
+    detail_wal::Shard& sh = shard_of(key);
+    std::lock_guard<std::mutex> g(sh.mu);
+    // Write ahead: the record is buffered (not yet durable) before the
+    // table changes. Replay of an unapplied logged op is harmless — a
+    // logged insert that lost its race replays as insert-if-absent, a
+    // logged put replays as the same upsert.
+    const Status io = append_locked(sh, op, key, value);
+    Status applied;
+    switch (op) {
+      case WalOp::kPut:
+        core_.put(key, value);
+        applied = Status::kOk;
+        break;
+      case WalOp::kInsert:
+        applied = core_.insert(key, value) ? Status::kOk : Status::kExists;
+        break;
+      case WalOp::kDelete:
+        applied = core_.erase(key) ? Status::kOk : Status::kNotFound;
+        break;
+      default:
+        applied = Status::kOk;
+        break;
+    }
+    return io != Status::kOk ? io : applied;
+  }
+
+  void committer_loop() {
+    const std::uint64_t interval_ns =
+        static_cast<std::uint64_t>(opts_.wal_group_commit_us) * 1000ull;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.wal_group_commit_us));
+      if (!logging()) continue;
+      const std::uint64_t now = detail_wal::wall_ns();
+      for (auto& shp : shards_) {
+        detail_wal::Shard& sh = *shp;
+        std::unique_lock<std::mutex> g(sh.mu, std::try_to_lock);
+        if (!g.owns_lock()) continue;  // a writer is active; it will sync
+        if (sh.pending_ops == 0) continue;
+        if (now - sh.oldest_pending_ns < interval_ns) continue;
+        if (!sh.sync_locked(&wal_bytes_, &syncs_)) {
+          fail_io();  // degrade; writers see kIOError-free memory mode
+        }
+      }
+    }
+  }
+
+  // ----------------------------------------------------------- snapshot
+
+  Status write_snapshot(std::uint64_t barrier) {
+    const std::string final_path = dopts_.dir + "/snapshot-" +
+                                   std::to_string(barrier) + ".dlht";
+    const std::string tmp = final_path + ".tmp";
+    std::unique_ptr<WritableFile> f = open_file(tmp, /*truncate=*/true);
+    if (f == nullptr) return fail_io();
+
+    std::uint8_t header[32] = {};
+    std::memcpy(header, &kSnapshotMagic, 8);
+    std::memcpy(header + 8, &kSnapshotVersion, 4);
+    std::memcpy(header + 16, &barrier, 8);
+    const std::uint32_t hcrc = crc32c(header, 24);
+    std::memcpy(header + 24, &hcrc, 4);
+
+    bool ok = f->append(header, sizeof header);
+    std::uint64_t bytes = sizeof header;
+    std::uint64_t count = 0;
+    std::vector<std::uint8_t> chunk;
+    chunk.reserve(kSnapshotChunkTarget + 64);
+    auto flush_chunk = [&]() {
+      if (chunk.empty() || !ok) return;
+      std::uint8_t frame[8];
+      const std::uint32_t len = static_cast<std::uint32_t>(chunk.size());
+      const std::uint32_t crc = crc32c(chunk.data(), chunk.size());
+      std::memcpy(frame, &len, 4);
+      std::memcpy(frame + 4, &crc, 4);
+      ok = ok && f->append(frame, 8) && f->append(chunk.data(), chunk.size());
+      bytes += 8 + chunk.size();
+      chunk.clear();
+    };
+    core_.for_each_snapshot([&](std::uint64_t k, std::uint64_t v) {
+      if (!ok) return;
+      std::uint8_t e[24];
+      const std::uint32_t kl = 8, vl = 8;
+      std::memcpy(e, &kl, 4);
+      std::memcpy(e + 4, &vl, 4);
+      std::memcpy(e + 8, &k, 8);
+      std::memcpy(e + 16, &v, 8);
+      chunk.insert(chunk.end(), e, e + sizeof e);
+      ++count;
+      if (chunk.size() >= kSnapshotChunkTarget) flush_chunk();
+    });
+    flush_chunk();
+    // Footer: empty-chunk sentinel, then the authoritative entry count.
+    std::uint8_t footer[20] = {};
+    std::memcpy(footer + 8, &count, 8);
+    const std::uint32_t fcrc = crc32c(footer + 8, 8);
+    std::memcpy(footer + 16, &fcrc, 4);
+    ok = ok && f->append(footer, sizeof footer) && f->sync();
+    bytes += sizeof footer;
+    f.reset();
+    if (!ok) {
+      ::unlink(tmp.c_str());
+      return fail_io();
+    }
+    if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+      ::unlink(tmp.c_str());
+      return fail_io();
+    }
+    sync_dir();
+    snapshot_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kOk;
+  }
+
+  void sync_dir() {
+    const int fd = ::open(dopts_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+
+  void gc_snapshots(std::uint64_t keep_lsn) {
+    for (const std::string& name : list_dir()) {
+      std::uint64_t lsn;
+      if (parse_snapshot_name(name, &lsn) && lsn < keep_lsn) {
+        ::unlink((dopts_.dir + "/" + name).c_str());
+      }
+    }
+  }
+
+  std::vector<std::string> list_dir() const {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(dopts_.dir.c_str());
+    if (d == nullptr) return out;
+    while (struct dirent* e = ::readdir(d)) {
+      if (e->d_name[0] != '.') out.emplace_back(e->d_name);
+    }
+    ::closedir(d);
+    return out;
+  }
+
+  static bool parse_snapshot_name(const std::string& name,
+                                  std::uint64_t* lsn) {
+    unsigned long long v = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%llu.dlht%n", &v, &consumed) == 1 &&
+        consumed == static_cast<int>(name.size())) {
+      *lsn = v;
+      return true;
+    }
+    return false;
+  }
+
+  // ----------------------------------------------------------- recovery
+
+  void recover() {
+    const std::vector<std::string> names = list_dir();
+    // Newest snapshot whose every frame validates wins; corrupt ones are
+    // skipped (an older snapshot + a longer replay still converges).
+    std::vector<std::pair<std::uint64_t, std::string>> snaps;
+    for (const std::string& n : names) {
+      std::uint64_t lsn;
+      if (parse_snapshot_name(n, &lsn)) snaps.emplace_back(lsn, n);
+      if (n.size() > 4 && n.compare(n.size() - 4, 4, ".tmp") == 0) {
+        ::unlink((dopts_.dir + "/" + n).c_str());  // crashed mid-snapshot
+      }
+    }
+    std::sort(snaps.rbegin(), snaps.rend());
+    std::uint64_t snap_lsn = 0;
+    for (const auto& [lsn, name] : snaps) {
+      std::vector<std::uint8_t> buf;
+      SnapshotContents sc;
+      if (read_file(dopts_.dir + "/" + name, &buf) &&
+          snapshot_parse(buf, &sc) && sc.lsn == lsn) {
+        for (const auto& [k, v] : sc.entries) core_.put(k, v);
+        snap_lsn = lsn;
+        break;
+      }
+      io_errors_.fetch_add(1, std::memory_order_relaxed);  // corrupt snapshot
+    }
+    recovered_snapshot_lsn_ = snap_lsn;
+
+    // Replay every log record past the snapshot, across current and
+    // frozen (.old, from a crash mid-checkpoint) segments, in LSN order.
+    std::vector<WalRecord> replay;
+    std::uint64_t max_lsn = snap_lsn;
+    for (const std::string& n : names) {
+      if (n.compare(0, 4, "wal-") != 0) continue;
+      const std::string path = dopts_.dir + "/" + n;
+      std::vector<std::uint8_t> buf;
+      if (!read_file(path, &buf)) continue;
+      WalDecodeResult d = wal_decode(buf.data(), buf.size());
+      if (d.tail != WalTail::kClean) {
+        // Torn or corrupt tail: truncate to the trusted prefix so the next
+        // generation of appends starts from a valid frame boundary.
+        ::truncate(path.c_str(), static_cast<off_t>(d.valid_bytes));
+      }
+      const bool frozen = n.size() > 4 && n.compare(n.size() - 4, 4, ".old") == 0;
+      std::uint64_t seg_max = 0;
+      for (const WalRecord& r : d.records) {
+        seg_max = r.lsn;
+        if (r.lsn > snap_lsn) replay.push_back(r);
+        if (r.lsn > max_lsn) max_lsn = r.lsn;
+      }
+      if (frozen && seg_max <= snap_lsn) {
+        ::unlink(path.c_str());  // fully covered by the snapshot
+      }
+    }
+    std::sort(replay.begin(), replay.end(),
+              [](const WalRecord& a, const WalRecord& b) {
+                return a.lsn < b.lsn;
+              });
+    for (const WalRecord& r : replay) {
+      switch (r.op) {
+        case WalOp::kPut:
+          core_.put(r.key, r.value);
+          break;
+        case WalOp::kInsert:
+          core_.insert(r.key, r.value);
+          break;
+        case WalOp::kDelete:
+          core_.erase(r.key);
+          break;
+      }
+    }
+    replayed_records_ = replay.size();
+    lsn_.store(max_lsn, std::memory_order_relaxed);
+  }
+
+  Options opts_;
+  DurabilityOptions dopts_;
+  DLHT core_;
+  DLHT::Hasher hash_{};
+
+  bool opened_ = false;
+  std::vector<std::unique_ptr<detail_wal::Shard>> shards_;
+  /// Op gate: mutations hold it shared across {assign LSN, buffer record,
+  /// apply}; the checkpoint barrier holds it exclusive for one load.
+  mutable std::shared_mutex snap_mu_;
+  std::mutex checkpoint_mu_;
+  std::atomic<std::uint64_t> lsn_{0};
+
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> io_errors_{0};
+  std::atomic<std::uint64_t> records_logged_{0};
+  std::atomic<std::uint64_t> wal_bytes_{0};
+  std::atomic<std::uint64_t> snapshot_bytes_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+  std::atomic<std::uint64_t> snapshots_written_{0};
+  std::uint64_t recovered_snapshot_lsn_ = 0;
+  std::uint64_t replayed_records_ = 0;
+
+  std::thread committer_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace dlht

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Diff two bench-trajectory snapshots (directories of BENCH_<fig>.json).
+
+The perf-trajectory CI job records one JSON summary per figure
+({fig, config, ops_per_sec, p50_ns, p99_ns, rows}; see bench_common.hpp).
+This tool turns two such snapshots into a verdict:
+
+    scripts/bench_diff.py <baseline-dir> <current-dir> [--threshold 15]
+
+For every figure present in both snapshots it flags
+  - ops_per_sec drops   > threshold %  (throughput regression)
+  - p99_ns     rises    > threshold %  (tail-latency regression)
+and exits nonzero when any figure regressed. Figures whose "config" field
+differs between the two runs are warned about and skipped — trajectory
+points are only comparable when the workload is pinned. Figures present on
+one side only are reported informationally.
+
+`--self-test` synthesizes baseline/current pairs (an identical pair must
+pass, a 30% throughput drop and a 30% p99 rise must each fail) so CI can
+prove the gate actually gates.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+DEFAULT_THRESHOLD_PCT = 15.0
+
+
+def load_dir(path):
+    """dict: fig-file-name -> parsed summary, for every BENCH_*.json."""
+    out = {}
+    if not os.path.isdir(path):
+        sys.exit(f"bench_diff: not a directory: {path}")
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        full = os.path.join(path, name)
+        try:
+            with open(full, encoding="utf-8") as f:
+                out[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"WARN  {name}: unreadable ({e}); skipped")
+    return out
+
+
+def pct_change(base, cur):
+    return (cur - base) / base * 100.0
+
+
+def diff(baseline, current, threshold):
+    """Returns the number of regressions; prints one line per comparison."""
+    regressions = 0
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"NEW   {name}: no baseline (first trajectory point)")
+            continue
+        if name not in current:
+            print(f"GONE  {name}: present in baseline only")
+            continue
+        base, cur = baseline[name], current[name]
+        if base.get("config") != cur.get("config"):
+            print(f"WARN  {name}: config mismatch, not comparable "
+                  f"({base.get('config')!r} vs {cur.get('config')!r})")
+            continue
+
+        bops, cops = base.get("ops_per_sec") or 0, cur.get("ops_per_sec") or 0
+        if bops > 0 and cops > 0:
+            delta = pct_change(bops, cops)
+            if delta < -threshold:
+                print(f"FAIL  {name}: ops_per_sec {bops:.0f} -> {cops:.0f} "
+                      f"({delta:+.1f}% < -{threshold:.0f}%)")
+                regressions += 1
+            else:
+                print(f"ok    {name}: ops_per_sec {delta:+.1f}%")
+
+        bp99, cp99 = base.get("p99_ns"), cur.get("p99_ns")
+        if bp99 and cp99 and bp99 > 0 and cp99 > 0:
+            delta = pct_change(bp99, cp99)
+            if delta > threshold:
+                print(f"FAIL  {name}: p99_ns {bp99:.0f} -> {cp99:.0f} "
+                      f"({delta:+.1f}% > +{threshold:.0f}%)")
+                regressions += 1
+            else:
+                print(f"ok    {name}: p99_ns {delta:+.1f}%")
+    return regressions
+
+
+def write_point(dirname, fig, ops, p99):
+    with open(os.path.join(dirname, f"BENCH_{fig}.json"), "w",
+              encoding="utf-8") as f:
+        json.dump({"fig": fig, "config": "keys=65536 ms=100 threads=[1]",
+                   "ops_per_sec": ops, "p50_ns": None, "p99_ns": p99,
+                   "rows": []}, f)
+
+
+def self_test(threshold):
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base")
+        os.mkdir(base)
+        write_point(base, "micro_ops", 10e6, 900.0)
+        write_point(base, "fig15", 4e6, 2000.0)
+
+        same = os.path.join(tmp, "same")
+        os.mkdir(same)
+        write_point(same, "micro_ops", 10.4e6, 880.0)  # noise-level wiggle
+        write_point(same, "fig15", 4e6, 2000.0)
+        if diff(load_dir(base), load_dir(same), threshold) != 0:
+            sys.exit("bench_diff self-test: noise-level run flagged")
+
+        slow = os.path.join(tmp, "slow")
+        os.mkdir(slow)
+        write_point(slow, "micro_ops", 7e6, 900.0)  # -30% throughput
+        write_point(slow, "fig15", 4e6, 2000.0)
+        if diff(load_dir(base), load_dir(slow), threshold) != 1:
+            sys.exit("bench_diff self-test: throughput regression missed")
+
+        tail = os.path.join(tmp, "tail")
+        os.mkdir(tail)
+        write_point(tail, "micro_ops", 10e6, 900.0)
+        write_point(tail, "fig15", 4e6, 2600.0)  # +30% p99
+        if diff(load_dir(base), load_dir(tail), threshold) != 1:
+            sys.exit("bench_diff self-test: p99 regression missed")
+
+        other = os.path.join(tmp, "other")
+        os.mkdir(other)
+        with open(os.path.join(other, "BENCH_micro_ops.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump({"fig": "micro_ops", "config": "keys=1048576 ms=500",
+                       "ops_per_sec": 1.0, "p99_ns": None, "rows": []}, f)
+        if diff(load_dir(base), load_dir(other), threshold) != 0:
+            sys.exit("bench_diff self-test: config mismatch not skipped")
+    print("bench_diff self-test: all gates behave")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json dir")
+    ap.add_argument("current", nargs="?", help="current BENCH_*.json dir")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                    help="regression threshold in percent (default 15)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate on synthesized data and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test(args.threshold)
+        return
+    if not args.baseline or not args.current:
+        ap.error("baseline and current directories are required")
+    n = diff(load_dir(args.baseline), load_dir(args.current), args.threshold)
+    if n:
+        sys.exit(f"bench_diff: {n} regression(s) beyond "
+                 f"{args.threshold:.0f}%")
+    print("bench_diff: no regressions")
+
+
+if __name__ == "__main__":
+    main()

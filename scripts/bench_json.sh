@@ -54,6 +54,8 @@ run fig_shrink fig_shrink_timeline --keys 131072
 run fig15 fig15_latency --keys 16384 --ms 30 --threads-list 1,2
 # Apps layer: YCSB mixes over the skewed generators.
 run fig18 fig18_ycsb --keys 16384 --ms 25 --threads-list 1,2
+# Durable tier: WAL ingest, write amplification, checkpoint + recovery rates.
+run fig_recovery fig_recovery --keys 65536
 
 echo "=== bench trajectory written ==="
 ls -l "$out"/BENCH_*.json

@@ -72,19 +72,29 @@ run_main() {
   require_absent /tmp/fig20.out "WARN: (batched probe beats unbatched|join checksum mismatch)"
   echo "apps fig smoke ok"
 
+  echo "=== bench_diff gate self-test ==="
+  # The perf-trajectory diff must actually gate: an identical pair passes,
+  # a synthesized >15% throughput drop / p99 rise each exit nonzero.
+  python3 scripts/bench_diff.py --self-test
+
   echo "=== ASan/UBSan build + tests ==="
   cmake -B build-asan -S . "${launcher[@]}" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target dlht_test resize_churn_test \
-    shrink_churn_test epoch_test rng_test apps_test
+    shrink_churn_test epoch_test rng_test apps_test recovery_test \
+    kill_recover_writer
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
   ./build-asan/shrink_churn_test
   ./build-asan/epoch_test
   ./build-asan/rng_test
   ./build-asan/apps_test
+  # recovery_test fuzzes the WAL/snapshot decoders over random bytes and
+  # truncations — this sanitized run is the no-UB proof the framing claims.
+  ./build-asan/recovery_test
+  KRW=./build-asan/kill_recover_writer bash tests/kill_recover_test.sh
 }
 
 run_tsan() {
@@ -94,7 +104,8 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target dlht_test resize_churn_test \
-    shrink_churn_test epoch_test apps_test fig18_ycsb
+    shrink_churn_test epoch_test apps_test fig18_ycsb recovery_test \
+    kill_recover_writer
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
   ./build-tsan/shrink_churn_test
@@ -105,6 +116,10 @@ run_tsan() {
   ./build-tsan/apps_test
   DLHT_BENCH_THREADS=2 ./build-tsan/fig18_ycsb --keys 4096 --ms 20 > /dev/null
   echo "tsan ycsb smoke ok"
+  # Durable tier under the race detector: the crash-point matrix plus the
+  # multi-writer SIGKILL churn (4 writers + group committer + snapshotter).
+  ./build-tsan/recovery_test
+  KRW=./build-tsan/kill_recover_writer bash tests/kill_recover_test.sh
 }
 
 case "$mode" in

@@ -1,0 +1,595 @@
+// Crash-recovery matrix for the durable tier (include/dlht/durability.hpp):
+// clean snapshot round trips, WAL-only and snapshot+suffix recovery, torn
+// tails, bit-flipped CRCs (tail and mid-file), fail-at-Nth-sync degrade to
+// memory mode, RMW logging, checkpoint GC, and a fuzz pass over the WAL and
+// snapshot decoders (random bytes + every truncation; run under ASan/UBSan
+// in CI). The SIGKILL-mid-churn variant lives in kill_recover_test.sh.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "common/rng.hpp"
+#include "dlht/durability.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      ++g_failures;                                                        \
+    }                                                                      \
+  } while (0)
+
+using namespace dlht;
+
+constexpr std::uint64_t val_of(std::uint64_t k) { return (k << 8) | 0x5au; }
+
+Options small_options() {
+  Options o;
+  o.initial_bins = 512;  // recovery replays across live resizes
+  o.wal_fsync_interval_ops = 8;
+  o.wal_group_commit_us = 0;  // deterministic: no background committer
+  return o;
+}
+
+// ------------------------------------------------------------ tmp dirs
+
+std::string make_dir() {
+  char tmpl[] = "/tmp/dlht_recovery_XXXXXX";
+  const char* d = mkdtemp(tmpl);
+  CHECK(d != nullptr);
+  return d != nullptr ? d : "/tmp/dlht_recovery_fallback";
+}
+
+void remove_dir(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      if (e->d_name[0] == '.') continue;
+      ::unlink((dir + "/" + e->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::vector<std::string> wal_files(const std::string& dir) {
+  std::vector<std::string> out;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      if (std::strncmp(e->d_name, "wal-", 4) == 0) {
+        out.push_back(dir + "/" + e->d_name);
+      }
+    }
+    ::closedir(d);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::vector<std::uint8_t> buf;
+  CHECK(read_file(path, &buf));
+  return buf;
+}
+
+// Audit: the recovered table holds exactly `expect` (key -> value), with
+// zero lost, zero duplicated, zero unexpected keys.
+void audit_exact(DurableDLHT& db,
+                 const std::unordered_map<std::uint64_t, std::uint64_t>& expect,
+                 const char* what) {
+  std::unordered_map<std::uint64_t, int> seen;
+  bool values_ok = true;
+  db.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++seen[k];
+    auto it = expect.find(k);
+    if (it == expect.end() || it->second != v) values_ok = false;
+  });
+  bool dup_free = true, none_lost = true;
+  for (const auto& [k, n] : seen) {
+    if (n != 1) dup_free = false;
+  }
+  for (const auto& [k, v] : expect) {
+    if (!seen.count(k)) none_lost = false;
+  }
+  if (!values_ok || !dup_free || !none_lost ||
+      seen.size() != expect.size()) {
+    std::fprintf(stderr, "FAIL audit(%s): %zu seen vs %zu expected\n", what,
+                 seen.size(), expect.size());
+    ++g_failures;
+  }
+  CHECK(db.approx_size() == static_cast<std::int64_t>(expect.size()));
+}
+
+// ------------------------------------------------------------ the matrix
+
+void clean_snapshot_roundtrip() {
+  std::puts("clean_snapshot_roundtrip");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 5000; ++k) {
+      CHECK(db.put(k, val_of(k)) == Status::kOk);
+      expect[k] = val_of(k);
+    }
+    for (std::uint64_t k = 1; k <= 1000; ++k) {  // deletes must persist too
+      CHECK(db.erase(k) == Status::kOk);
+      expect.erase(k);
+    }
+    CHECK(db.checkpoint() == Status::kOk);
+    const auto s = db.stats();
+    CHECK(s.snapshots_written == 1);
+    CHECK(s.io_errors == 0);
+    CHECK(!s.degraded);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    const auto s = db.stats();
+    CHECK(s.recovered_snapshot_lsn > 0);
+    audit_exact(db, expect, "clean_snapshot_roundtrip");
+  }
+  remove_dir(dir);
+}
+
+void wal_only_recovery() {
+  std::puts("wal_only_recovery");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 3000; ++k) {
+      CHECK(db.insert(k, val_of(k)) == Status::kOk);
+      expect[k] = val_of(k);
+    }
+    CHECK(db.insert(7, 1) == Status::kExists);  // no-op replays as no-op
+    CHECK(db.erase(123456789) == Status::kNotFound);
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    const auto s = db.stats();
+    CHECK(s.recovered_snapshot_lsn == 0);  // never checkpointed
+    CHECK(s.replayed_records >= 3000);
+    audit_exact(db, expect, "wal_only_recovery");
+  }
+  remove_dir(dir);
+}
+
+void snapshot_plus_wal_suffix() {
+  std::puts("snapshot_plus_wal_suffix");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 4000; ++k) {
+      db.put(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.checkpoint() == Status::kOk);
+    // Post-snapshot suffix: fresh keys, overwrites, deletes.
+    for (std::uint64_t k = 4001; k <= 6000; ++k) {
+      db.put(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    for (std::uint64_t k = 1; k <= 500; ++k) {
+      db.put(k, val_of(k) + 7);
+      expect[k] = val_of(k) + 7;
+    }
+    for (std::uint64_t k = 2000; k < 2500; ++k) {
+      db.erase(k);
+      expect.erase(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    const auto s = db.stats();
+    CHECK(s.recovered_snapshot_lsn >= 4000);
+    CHECK(s.replayed_records >= 3000);  // the whole post-snapshot suffix
+    audit_exact(db, expect, "snapshot_plus_wal_suffix");
+  }
+  remove_dir(dir);
+}
+
+void rmw_update_logged() {
+  std::puts("rmw_update_logged");
+  const std::string dir = make_dir();
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    db.insert(42, 100);
+    Status io = Status::kOk;
+    const auto v = db.update(42, [](std::uint64_t x) { return x + 5; }, &io);
+    CHECK(v.has_value() && *v == 105);
+    CHECK(io == Status::kOk);
+    CHECK(!db.update(999, [](std::uint64_t x) { return x; }).has_value());
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    CHECK(db.get(42).value_or(0) == 105);  // the RMW *result* was replayed
+    CHECK(!db.get(999).has_value());
+  }
+  remove_dir(dir);
+}
+
+// SIGKILL signature: a partial record at the end of one shard file. The
+// tail is truncated on recovery; every complete record survives.
+void torn_tail_truncated() {
+  std::puts("torn_tail_truncated");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 2000; ++k) {
+      db.put(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  // Tear: 13 garbage bytes after the last complete record.
+  const auto files = wal_files(dir);
+  CHECK(!files.empty());
+  {
+    std::FILE* f = std::fopen(files[0].c_str(), "ab");
+    CHECK(f != nullptr);
+    const unsigned char junk[13] = {0xaa, 0xbb, 0xcc};
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "torn_tail_truncated");
+    // The tail is gone from disk too: the file decodes clean again.
+    const auto buf = slurp(files[0]);
+    CHECK(buf.size() % kWalRecordBytes == 0);
+    CHECK(wal_decode(buf.data(), buf.size()).tail == WalTail::kClean);
+  }
+  remove_dir(dir);
+}
+
+// Bit flip in the final record of one shard: recovery must reject exactly
+// that record (and truncate it away), keeping everything before it.
+void bad_crc_tail_rejected() {
+  std::puts("bad_crc_tail_rejected");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 2000; ++k) {
+      db.insert(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  const auto files = wal_files(dir);
+  CHECK(!files.empty());
+  auto buf = slurp(files[0]);
+  CHECK(buf.size() >= kWalRecordBytes);
+  // Identify the key the final record carries, then corrupt its value byte.
+  const auto before = wal_decode(buf.data(), buf.size());
+  CHECK(before.tail == WalTail::kClean);
+  CHECK(!before.records.empty());
+  const WalRecord last = before.records.back();
+  {
+    std::FILE* f = std::fopen(files[0].c_str(), "rb+");
+    CHECK(f != nullptr);
+    std::fseek(f, static_cast<long>(buf.size() - kWalRecordBytes + 24), SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  expect.erase(last.key);  // the op the corrupt record carried is lost
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "bad_crc_tail_rejected");
+    CHECK(!db.get(last.key).has_value());
+  }
+  remove_dir(dir);
+}
+
+// Bit flip in the middle of a shard file: nothing past the corruption in
+// that shard is trusted; other shards are untouched.
+void mid_file_corruption_stops_replay() {
+  std::puts("mid_file_corruption_stops_replay");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 2000; ++k) {
+      db.insert(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  const auto files = wal_files(dir);
+  CHECK(!files.empty());
+  auto buf = slurp(files[0]);
+  const auto before = wal_decode(buf.data(), buf.size());
+  CHECK(before.records.size() >= 10);
+  const std::size_t cut = before.records.size() / 2;
+  for (std::size_t i = cut; i < before.records.size(); ++i) {
+    expect.erase(before.records[i].key);  // dropped with the bad suffix
+  }
+  {
+    std::FILE* f = std::fopen(files[0].c_str(), "rb+");
+    CHECK(f != nullptr);
+    std::fseek(f, static_cast<long>(cut * kWalRecordBytes + 16), SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0x80, f);
+    std::fclose(f);
+  }
+  {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "mid_file_corruption_stops_replay");
+    // The untrusted suffix was truncated away.
+    const auto after = slurp(files[0]);
+    CHECK(after.size() == cut * kWalRecordBytes);
+  }
+  remove_dir(dir);
+}
+
+// fail-at-Nth-sync: the op that observes the failure reports kIOError, the
+// tier degrades to memory-only (no abort), and the counters surface it.
+void fail_at_nth_sync_degrades() {
+  std::puts("fail_at_nth_sync_degrades");
+  const std::string dir = make_dir();
+  FaultSpec faults;
+  faults.fail_sync_at = 1;  // the very first fsync fails, and all after
+  Options o = small_options();
+  o.wal_fsync_interval_ops = 4;
+  DurableDLHT db(o, {dir, 4, &faults});
+  CHECK(db.open() == Status::kOk);
+  bool saw_io_error = false;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    const Status st = db.put(k, val_of(k));
+    if (st == Status::kIOError) {
+      CHECK(!saw_io_error);  // reported exactly once, on first observation
+      saw_io_error = true;
+    } else {
+      CHECK(st == Status::kOk);
+    }
+  }
+  CHECK(saw_io_error);
+  CHECK(db.degraded());
+  const auto s = db.stats();
+  CHECK(s.io_errors >= 1);
+  CHECK(s.degraded);
+  // Memory mode still serves everything.
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    CHECK(db.get(k).value_or(0) == val_of(k));
+  }
+  CHECK(db.wal_sync() == Status::kIOError);   // still degraded, still no abort
+  CHECK(db.checkpoint() == Status::kIOError);
+  remove_dir(dir);
+}
+
+// Injected torn/flipped writes mid-stream: the writer sees the failure and
+// degrades; a later (fault-free) recovery truncates the damage and keeps
+// every record before it — nothing duplicated, nothing invented.
+void injected_write_faults_recover() {
+  for (const bool flip : {false, true}) {
+    std::printf("injected_write_faults_recover(%s)\n", flip ? "flip" : "torn");
+    const std::string dir = make_dir();
+    FaultSpec faults;
+    if (flip) {
+      faults.flip_write_at = 9;
+    } else {
+      faults.torn_write_at = 9;
+    }
+    Options o = small_options();
+    o.wal_fsync_interval_ops = 4;  // flush every 4 records: write #9 is mid-run
+    std::uint64_t committed = 0;
+    {
+      DurableDLHT db(o, {dir, 2, &faults});
+      CHECK(db.open() == Status::kOk);
+      for (std::uint64_t k = 1; k <= 400; ++k) {
+        db.put(k, val_of(k));
+        if (db.wal_sync() == Status::kOk) {
+          committed = k;
+        } else {
+          break;  // fault hit: everything <= committed is durable
+        }
+      }
+      CHECK(db.degraded());
+      CHECK(committed > 0);
+      CHECK(db.stats().io_errors >= 1);
+    }
+    {
+      DurableDLHT db(small_options(), {dir});
+      CHECK(db.open() == Status::kOk);
+      // Zero lost committed: every synced key is back with its value.
+      for (std::uint64_t k = 1; k <= committed; ++k) {
+        CHECK(db.get(k).value_or(0) == val_of(k));
+      }
+      // Zero duplicates, no invented keys, values intact.
+      std::unordered_map<std::uint64_t, int> seen;
+      db.for_each([&](std::uint64_t k, std::uint64_t v) {
+        ++seen[k];
+        CHECK(k >= 1 && k <= 400);
+        CHECK(v == val_of(k));
+      });
+      for (const auto& [k, n] : seen) CHECK(n == 1);
+      CHECK(seen.size() >= committed);
+    }
+    remove_dir(dir);
+  }
+}
+
+// Checkpoint GC: old snapshots and frozen segments disappear; repeated
+// checkpoint/reopen cycles stay consistent.
+void checkpoint_gc_and_cycles() {
+  std::puts("checkpoint_gc_and_cycles");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    DurableDLHT db(small_options(), {dir});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 1000; ++k) {
+      const std::uint64_t key = k + 1000u * static_cast<std::uint64_t>(cycle);
+      db.put(key, val_of(key));
+      expect[key] = val_of(key);
+    }
+    CHECK(db.checkpoint() == Status::kOk);
+    audit_exact(db, expect, "checkpoint_gc_and_cycles");
+  }
+  // One snapshot file, no frozen segments left behind.
+  int snapshots = 0, frozen = 0;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n.rfind("snapshot-", 0) == 0) ++snapshots;
+      if (n.size() > 4 && n.compare(n.size() - 4, 4, ".old") == 0) ++frozen;
+    }
+    ::closedir(d);
+  }
+  CHECK(snapshots == 1);
+  CHECK(frozen == 0);
+  remove_dir(dir);
+}
+
+void in_memory_mode() {
+  std::puts("in_memory_mode");
+  DurableDLHT db(small_options(), {});  // empty dir: durability off
+  CHECK(db.open() == Status::kOk);
+  CHECK(db.put(1, 2) == Status::kOk);
+  CHECK(db.get(1).value_or(0) == 2);
+  CHECK(db.wal_sync() == Status::kOk);
+  CHECK(!db.degraded());
+  CHECK(db.stats().records_logged == 0);
+}
+
+// --------------------------------------------------------------- fuzzing
+
+// The decoders are total functions: arbitrary bytes, arbitrary
+// truncations, no UB (this test runs under ASan/UBSan in scripts/ci.sh).
+void fuzz_wal_and_snapshot_decoders() {
+  std::puts("fuzz_wal_and_snapshot_decoders");
+  Xoshiro256 rng(splitmix64(0xfadedbeef));
+
+  // Random buffers of every size class.
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t n = rng.next_below(257);
+    std::vector<std::uint8_t> buf(n);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    const auto d = wal_decode(buf.data(), buf.size());
+    CHECK(d.valid_bytes <= buf.size());
+    CHECK(d.valid_bytes % kWalRecordBytes == 0);
+    CHECK(d.records.size() * kWalRecordBytes == d.valid_bytes);
+    SnapshotContents sc;
+    snapshot_parse(buf, &sc);  // any result is fine; no crash is the test
+  }
+
+  // A real log, truncated at every offset: the decoder keeps exactly the
+  // whole records and flags the rest as torn.
+  std::vector<std::uint8_t> log;
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    WalRecord r;
+    r.lsn = i;
+    r.op = WalOp::kPut;
+    r.key = i * 11;
+    r.value = i * 13;
+    std::uint8_t frame[kWalRecordBytes];
+    wal_encode(r, frame);
+    log.insert(log.end(), frame, frame + kWalRecordBytes);
+  }
+  for (std::size_t cut = 0; cut <= log.size(); ++cut) {
+    const auto d = wal_decode(log.data(), cut);
+    CHECK(d.records.size() == cut / kWalRecordBytes);
+    CHECK(d.tail ==
+          (cut % kWalRecordBytes == 0 ? WalTail::kClean : WalTail::kTorn));
+    for (std::size_t i = 0; i < d.records.size(); ++i) {
+      CHECK(d.records[i].lsn == i + 1);
+      CHECK(d.records[i].key == (i + 1) * 11);
+    }
+  }
+
+  // Every single-bit flip in a two-record log is caught.
+  std::vector<std::uint8_t> two(log.begin(),
+                                log.begin() + 2 * kWalRecordBytes);
+  for (std::size_t bit = 0; bit < two.size() * 8; ++bit) {
+    auto mut = two;
+    mut[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto d = wal_decode(mut.data(), mut.size());
+    CHECK(d.records.size() < 2 || d.tail == WalTail::kClean);
+    // A flip in record 0 must not surface record 0.
+    if (bit < kWalRecordBytes * 8) CHECK(d.records.empty());
+  }
+
+  // Snapshot round trip through a byte buffer, then truncations of it.
+  {
+    const std::string dir = make_dir();
+    {
+      DurableDLHT db(small_options(), {dir});
+      CHECK(db.open() == Status::kOk);
+      for (std::uint64_t k = 1; k <= 500; ++k) db.put(k, val_of(k));
+      CHECK(db.checkpoint() == Status::kOk);
+    }
+    std::string snap_path;
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (struct dirent* e = ::readdir(d)) {
+        if (std::strncmp(e->d_name, "snapshot-", 9) == 0) {
+          snap_path = dir + "/" + e->d_name;
+        }
+      }
+      ::closedir(d);
+    }
+    CHECK(!snap_path.empty());
+    const auto buf = slurp(snap_path);
+    SnapshotContents sc;
+    CHECK(snapshot_parse(buf, &sc));
+    CHECK(sc.entries.size() == 500);
+    for (std::size_t cut = 0; cut < buf.size(); cut += 7) {
+      std::vector<std::uint8_t> t(buf.begin(), buf.begin() + cut);
+      SnapshotContents partial;
+      CHECK(!snapshot_parse(t, &partial));  // truncation never validates
+    }
+    remove_dir(dir);
+  }
+}
+
+}  // namespace
+
+int main() {
+  clean_snapshot_roundtrip();
+  wal_only_recovery();
+  snapshot_plus_wal_suffix();
+  rmw_update_logged();
+  torn_tail_truncated();
+  bad_crc_tail_rejected();
+  mid_file_corruption_stops_replay();
+  fail_at_nth_sync_degrades();
+  injected_write_faults_recover();
+  checkpoint_gc_and_cycles();
+  in_memory_mode();
+  fuzz_wal_and_snapshot_decoders();
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::puts("all recovery tests passed");
+  return 0;
+}
