@@ -15,6 +15,7 @@
 // --ms toward the paper's configuration (100M keys, multi-second points).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -22,6 +23,9 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/topology.hpp"
 #include "dlht/dlht.hpp"
@@ -155,6 +159,30 @@ inline std::string json_escape(const std::string& in) {
   return out;
 }
 
+/// Serialize the sink to the JSON document --json promises.
+inline std::string render_json() {
+  JsonSink& s = json_sink();
+  std::string out = "{\"fig\": \"" + json_escape(s.fig) + "\", \"config\": \"" +
+                    json_escape(s.config) + "\",\n";
+  char num[64];
+  std::snprintf(num, sizeof num, " \"ops_per_sec\": %.1f,\n", s.ops_per_sec);
+  out += num;
+  if (s.p50_ns >= 0) {
+    std::snprintf(num, sizeof num, " \"p50_ns\": %.1f,\n", s.p50_ns);
+    out += num;
+  } else {
+    out += " \"p50_ns\": null,\n";
+  }
+  if (s.p99_ns >= 0) {
+    std::snprintf(num, sizeof num, " \"p99_ns\": %.1f,\n", s.p99_ns);
+    out += num;
+  } else {
+    out += " \"p99_ns\": null,\n";
+  }
+  out += " \"rows\": [" + s.rows + "]}\n";
+  return out;
+}
+
 inline void flush_json() {
   JsonSink& s = json_sink();
   if (s.path.empty()) return;
@@ -164,27 +192,66 @@ inline void flush_json() {
                  s.path.c_str());
     return;
   }
-  std::fprintf(f, "{\"fig\": \"%s\", \"config\": \"%s\",\n",
-               json_escape(s.fig).c_str(), json_escape(s.config).c_str());
-  std::fprintf(f, " \"ops_per_sec\": %.1f,\n", s.ops_per_sec);
-  if (s.p50_ns >= 0) {
-    std::fprintf(f, " \"p50_ns\": %.1f,\n", s.p50_ns);
-  } else {
-    std::fprintf(f, " \"p50_ns\": null,\n");
-  }
-  if (s.p99_ns >= 0) {
-    std::fprintf(f, " \"p99_ns\": %.1f,\n", s.p99_ns);
-  } else {
-    std::fprintf(f, " \"p99_ns\": null,\n");
-  }
-  std::fprintf(f, " \"rows\": [%s]}\n", s.rows.c_str());
+  const std::string doc = render_json();
+  std::fwrite(doc.data(), 1, doc.size(), f);
   std::fclose(f);
 }
 
+// The SIGTERM/SIGINT flush may not call fopen/fprintf/malloc (a signal
+// landing while a bench thread holds the stdio or heap lock would
+// deadlock, hanging CI instead of dying). So the sink re-renders the full
+// document after every row *in normal context* into one of two fixed
+// buffers and publishes {buffer, length} as a single atomic word; the
+// handler only open(2)/write(2)/close(2)s the published snapshot — all
+// async-signal-safe — then re-raises. A row arriving concurrently with
+// the handler can at worst publish the older buffer's torn bytes, which
+// costs one trailing row, never a hang.
+
+inline constexpr std::size_t kJsonSnapshotCap = std::size_t{1} << 18;
+
+struct JsonSignalState {
+  char path[512] = {};  // copied at install; std::string is off-limits in a handler
+  char buf[2][kJsonSnapshotCap];
+  std::atomic<std::uint64_t> published{0};  // (buffer index << 32) | length
+};
+
+inline JsonSignalState& json_signal_state() {
+  static JsonSignalState st;
+  return st;
+}
+
+/// Re-render and publish the signal-handler snapshot (normal context only).
+/// A document over the fixed capacity keeps the last snapshot that fit.
+inline void json_update_signal_snapshot() {
+  JsonSignalState& st = json_signal_state();
+  const std::string doc = render_json();
+  if (doc.size() > kJsonSnapshotCap) return;
+  const std::uint64_t prev = st.published.load(std::memory_order_relaxed);
+  const std::uint32_t idx = (static_cast<std::uint32_t>(prev >> 32) ^ 1u) & 1u;
+  std::memcpy(st.buf[idx], doc.data(), doc.size());
+  st.published.store((static_cast<std::uint64_t>(idx) << 32) | doc.size(),
+                     std::memory_order_release);
+}
+
 /// SIGTERM/SIGINT handler installed by parse_args when the sink is armed:
-/// write what we have, then die by the original signal.
+/// write the pre-rendered snapshot, then die by the original signal.
 inline void flush_json_and_reraise(int sig) {
-  flush_json();
+  JsonSignalState& st = json_signal_state();
+  const std::uint64_t pub = st.published.load(std::memory_order_acquire);
+  const std::size_t len = static_cast<std::uint32_t>(pub);
+  if (len != 0 && st.path[0] != '\0') {
+    const int fd = ::open(st.path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const char* p = st.buf[(pub >> 32) & 1];
+      std::size_t off = 0;
+      while (off < len) {
+        const ssize_t w = ::write(fd, p + off, len - off);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      ::close(fd);
+    }
+  }
   std::signal(sig, SIG_DFL);
   std::raise(sig);
 }
@@ -210,6 +277,7 @@ inline void json_note_row(const std::string& series, double x, double value,
     if (series.find("p50") != std::string::npos) s.p50_ns = value;
     if (series.find("p99") != std::string::npos) s.p99_ns = value;
   }
+  json_update_signal_snapshot();
 }
 
 inline std::vector<int> default_threads() {
@@ -278,20 +346,25 @@ inline Args parse_args(int argc, char** argv) {
     json_sink().config = std::move(cfg);
     std::atexit(flush_json);  // written however the bench exits normally
     // A killed run (CI cancellation, the kill-and-recover harness, ^C)
-    // still emits its partial trajectory: flush the rows recorded so far,
-    // then re-raise with the default action so the exit status stays
-    // "killed by signal". flush_json is not strictly async-signal-safe
-    // (fopen), but these benches only field the signal while parked
-    // between measurement points — a truncated JSON here at worst loses
-    // the trajectory point it was about to lose anyway.
-    std::signal(SIGTERM, flush_json_and_reraise);
-    std::signal(SIGINT, flush_json_and_reraise);
+    // still emits its partial trajectory: the handler writes the snapshot
+    // pre-rendered by every print_row (see json_update_signal_snapshot —
+    // no stdio/malloc in the handler), then re-raises with the default
+    // action so the exit status stays "killed by signal".
+    JsonSignalState& st = json_signal_state();
+    const std::string& path = json_sink().path;
+    if (path.size() < sizeof st.path) {
+      std::memcpy(st.path, path.c_str(), path.size() + 1);
+      json_update_signal_snapshot();  // valid (row-less) doc from instant 0
+      std::signal(SIGTERM, flush_json_and_reraise);
+      std::signal(SIGINT, flush_json_and_reraise);
+    }
   }
   return a;
 }
 
 inline void print_header(const char* figure, const char* description) {
   json_sink().fig = figure;
+  if (!json_sink().path.empty()) json_update_signal_snapshot();
   std::printf("# %s — %s\n", figure, description);
   std::printf("# machine: %u hardware threads\n", hardware_threads());
   std::printf("%-18s %-26s %12s %14s  %s\n", "figure", "series", "x", "value",

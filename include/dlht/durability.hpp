@@ -23,10 +23,16 @@
 //    lsn > L replays on top in LSN order.
 //  * Recovery. open() loads the newest snapshot whose every frame
 //    validates (falling back to older ones), replays all WAL records past
-//    its LSN sorted by LSN, truncates torn tails (a partial or
-//    CRC-corrupt final record — the SIGKILL signature), and rejects
-//    everything after a corrupt record. Committed ops are never lost;
-//    uncommitted tail ops may be.
+//    its LSN sorted by LSN, and truncates invalid tails. A *torn* tail (a
+//    partial final record — the SIGKILL signature) is silently dropped; a
+//    *corrupt* tail (a full record failing its CRC — possible media rot
+//    over committed data) is also dropped but counted in stats
+//    (io_errors, wal_corrupt_tails, wal_discarded_bytes) and its bytes
+//    are preserved as <log>.corrupt. Frozen segments
+//    (wal-N.log.R.old) keep collision-free names across restarts: the
+//    rotation counter is re-seeded from the directory, so a crashed
+//    checkpoint's segment is never overwritten by the next run. Committed
+//    ops are never lost; uncommitted tail ops may be.
 //  * Failure policy. No abort() on disk failure: the first op that
 //    observes a WAL write/sync error returns Status::kIOError, the tier
 //    degrades to memory-only mode, and stats() surfaces io_errors +
@@ -603,22 +609,30 @@ class DurableDLHT {
   ///     only records that the upcoming barrier covers),
   ///  2. LSN barrier L (unique-lock the op gate: all lsn <= L applied),
   ///  3. stream the table into snapshot-<L>.dlht.tmp, fsync, rename,
-  ///  4. delete the frozen segments and any older snapshot.
+  ///  4. delete every frozen segment (all hold only lsn <= L: the ones
+  ///     just rotated by construction, any older generation because its
+  ///     records were replayed before this process's first op) and any
+  ///     older snapshot.
   /// On any IO failure the old snapshot and logs stay authoritative.
   Status checkpoint() {
     if (!logging()) return degraded() ? Status::kIOError : Status::kOk;
     std::lock_guard<std::mutex> cg(checkpoint_mu_);
-    std::vector<std::string> frozen;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       detail_wal::Shard& sh = *shards_[i];
       std::lock_guard<std::mutex> g(sh.mu);
       if (!sh.sync_locked(&wal_bytes_, &syncs_)) return fail_io();
-      const std::string old =
-          sh.path + "." + std::to_string(sh.rotations++) + ".old";
+      // The rotation counter is seeded from the directory at recover(), so
+      // a frozen segment left by a crashed checkpoint is never renamed
+      // over; the existence probe refuses the overwrite outright even if a
+      // stale segment appeared some other way — losing it would drop
+      // committed, not-yet-snapshotted records.
+      std::string old;
+      do {
+        old = sh.path + "." + std::to_string(sh.rotations++) + ".old";
+      } while (::access(old.c_str(), F_OK) == 0);
       if (::rename(sh.path.c_str(), old.c_str()) != 0 && errno != ENOENT) {
         return fail_io();
       }
-      frozen.push_back(old);
       sh.file = open_file(sh.path, /*truncate=*/true);
       if (sh.file == nullptr) return fail_io();
     }
@@ -631,7 +645,7 @@ class DurableDLHT {
     }
     const Status st = write_snapshot(barrier);
     if (st != Status::kOk) return st;
-    for (const std::string& f : frozen) ::unlink(f.c_str());
+    gc_frozen_segments();
     gc_snapshots(barrier);
     return Status::kOk;
   }
@@ -654,6 +668,14 @@ class DurableDLHT {
     /// none) and how many WAL records it replayed past it.
     std::uint64_t recovered_snapshot_lsn = 0;
     std::uint64_t replayed_records = 0;
+    /// Corrupt — not merely torn — WAL tails found at open(), and the
+    /// bytes they discarded from the trusted prefix. A torn tail is the
+    /// expected SIGKILL signature and counts nowhere; a corrupt one means
+    /// committed records may have rotted on disk, so it also bumps
+    /// io_errors and the discarded suffix is preserved as <log>.corrupt
+    /// for inspection instead of being silently destroyed.
+    std::uint64_t wal_corrupt_tails = 0;
+    std::uint64_t wal_discarded_bytes = 0;
   };
 
   Stats stats() const {
@@ -669,6 +691,8 @@ class DurableDLHT {
     s.degraded = degraded_.load(std::memory_order_relaxed);
     s.recovered_snapshot_lsn = recovered_snapshot_lsn_;
     s.replayed_records = replayed_records_;
+    s.wal_corrupt_tails = wal_corrupt_tails_;
+    s.wal_discarded_bytes = wal_discarded_bytes_;
     return s;
   }
 
@@ -862,6 +886,20 @@ class DurableDLHT {
     }
   }
 
+  /// Delete every frozen segment. Only legal right after a successful
+  /// snapshot: freshly rotated segments hold only records the barrier
+  /// covers, and any older generation (a crashed checkpoint, a folded
+  /// orphan shard) was replayed at open(), so its records are <= every
+  /// barrier this process can take.
+  void gc_frozen_segments() {
+    for (const std::string& name : list_dir()) {
+      if (name.compare(0, 4, "wal-") == 0 && name.size() > 4 &&
+          name.compare(name.size() - 4, 4, ".old") == 0) {
+        ::unlink((dopts_.dir + "/" + name).c_str());
+      }
+    }
+  }
+
   void gc_snapshots(std::uint64_t keep_lsn) {
     for (const std::string& name : list_dir()) {
       std::uint64_t lsn;
@@ -894,7 +932,50 @@ class DurableDLHT {
     return false;
   }
 
+  /// wal-<shard>.log — a live shard log.
+  static bool parse_live_wal_name(const std::string& name,
+                                  std::uint64_t* shard) {
+    unsigned long long s = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.log%n", &s, &consumed) == 1 &&
+        consumed == static_cast<int>(name.size())) {
+      *shard = s;
+      return true;
+    }
+    return false;
+  }
+
+  /// wal-<shard>.log.<n>.old — a frozen segment (n is the rotation index,
+  /// or a folded orphan's max LSN; either way unique per shard).
+  static bool parse_frozen_wal_name(const std::string& name,
+                                    std::uint64_t* shard, std::uint64_t* n) {
+    unsigned long long s = 0, r = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.log.%llu.old%n", &s, &r,
+                    &consumed) == 2 &&
+        consumed == static_cast<int>(name.size())) {
+      *shard = s;
+      *n = r;
+      return true;
+    }
+    return false;
+  }
+
   // ----------------------------------------------------------- recovery
+
+  /// Copy the untrusted suffix of a corrupt log to <log>.corrupt before the
+  /// log is truncated, so a media-rot event leaves evidence an operator can
+  /// inspect. Writes straight through POSIX (never the fault injector —
+  /// this is the diagnostic path, not the durability path); best-effort.
+  static void preserve_corrupt_suffix(const std::string& path,
+                                      const std::vector<std::uint8_t>& buf,
+                                      std::size_t valid_bytes) {
+    if (valid_bytes >= buf.size()) return;
+    auto f = PosixWritableFile::open(path + ".corrupt", /*truncate=*/true);
+    if (f == nullptr) return;
+    f->append(buf.data() + valid_bytes, buf.size() - valid_bytes);
+    f->sync();
+  }
 
   void recover() {
     const std::vector<std::string> names = list_dir();
@@ -929,24 +1010,57 @@ class DurableDLHT {
     std::uint64_t max_lsn = snap_lsn;
     for (const std::string& n : names) {
       if (n.compare(0, 4, "wal-") != 0) continue;
+      // Preserved corrupt suffixes are diagnostics, never replayed.
+      if (n.size() > 8 && n.compare(n.size() - 8, 8, ".corrupt") == 0) {
+        continue;
+      }
       const std::string path = dopts_.dir + "/" + n;
       std::vector<std::uint8_t> buf;
       if (!read_file(path, &buf)) continue;
       WalDecodeResult d = wal_decode(buf.data(), buf.size());
       if (d.tail != WalTail::kClean) {
-        // Torn or corrupt tail: truncate to the trusted prefix so the next
-        // generation of appends starts from a valid frame boundary.
+        if (d.tail == WalTail::kCorrupt) {
+          // A full record failed its CRC: committed data may have rotted.
+          // Unlike a torn tail this is not a crash signature, so surface
+          // it (io_errors + corrupt-tail counters) and keep the discarded
+          // suffix beside the log instead of silently destroying it.
+          preserve_corrupt_suffix(path, buf, d.valid_bytes);
+          io_errors_.fetch_add(1, std::memory_order_relaxed);
+          wal_corrupt_tails_ += 1;
+          wal_discarded_bytes_ += buf.size() - d.valid_bytes;
+        }
+        // Truncate to the trusted prefix so the next generation of
+        // appends starts from a valid frame boundary.
         ::truncate(path.c_str(), static_cast<off_t>(d.valid_bytes));
       }
-      const bool frozen = n.size() > 4 && n.compare(n.size() - 4, 4, ".old") == 0;
+      std::uint64_t fshard = 0, fidx = 0;
+      const bool frozen = parse_frozen_wal_name(n, &fshard, &fidx);
+      if (frozen && fshard < shards_.size() &&
+          shards_[fshard]->rotations <= fidx) {
+        // Seed the rotation counter past every frozen name on disk so a
+        // later checkpoint never renames the live log over one (the
+        // in-memory counter alone restarts at 0 every open).
+        shards_[fshard]->rotations = fidx + 1;
+      }
+      std::uint64_t lshard = 0;
+      const bool orphan = parse_live_wal_name(n, &lshard) &&
+                          lshard >= shards_.size();
       std::uint64_t seg_max = 0;
       for (const WalRecord& r : d.records) {
         seg_max = r.lsn;
         if (r.lsn > snap_lsn) replay.push_back(r);
         if (r.lsn > max_lsn) max_lsn = r.lsn;
       }
-      if (frozen && seg_max <= snap_lsn) {
+      if ((frozen || orphan) && seg_max <= snap_lsn) {
         ::unlink(path.c_str());  // fully covered by the snapshot
+      } else if (orphan) {
+        // The directory was written with more wal_shards than we now run:
+        // this log will never rotate again, so fold it into the frozen
+        // lifecycle — replayed (above) on every open until the next
+        // successful checkpoint GCs it. seg_max makes the name unique
+        // (LSNs are global), so generations can never collide.
+        const std::string old = path + "." + std::to_string(seg_max) + ".old";
+        ::rename(path.c_str(), old.c_str());
       }
     }
     std::sort(replay.begin(), replay.end(),
@@ -992,6 +1106,8 @@ class DurableDLHT {
   std::atomic<std::uint64_t> snapshots_written_{0};
   std::uint64_t recovered_snapshot_lsn_ = 0;
   std::uint64_t replayed_records_ = 0;
+  std::uint64_t wal_corrupt_tails_ = 0;
+  std::uint64_t wal_discarded_bytes_ = 0;
 
   std::thread committer_;
   std::atomic<bool> stop_{false};

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # SIGKILL-mid-churn recovery harness. For every fault mode: start the
 # kill_recover_writer churning against a fresh durable dir, SIGKILL it mid
-# write, then audit with a clean process — zero lost committed keys, zero
-# duplicates (see kill_recover_writer.cpp for the commit protocol).
+# write, audit with a clean process — zero lost committed keys, zero
+# duplicates (see kill_recover_writer.cpp for the commit protocol) — then
+# kill and audit the SAME dir a second time. The writer resumes past the
+# committed watermarks, so cycle 2's audit demands the union of both
+# cycles and catches cross-restart loss (e.g. a checkpoint of the second
+# run clobbering a frozen WAL segment the first run left behind).
 #
 #   KRW=/path/to/kill_recover_writer  (required) writer/auditor binary
 #   KR_REPEAT=N                       (default 1) full passes over all modes
@@ -20,22 +24,24 @@ MODES="none torn:900 flip:900 failsync:40"
 for rep in $(seq 1 "$REPEAT"); do
   for mode in $MODES; do
     dir="$(mktemp -d /tmp/dlht_kill_recover.XXXXXX)"
-    if [ "$mode" = "none" ]; then
+    for cycle in 1 2; do
+      if [ "$mode" = "none" ]; then
+        unset DLHT_FAULT || true
+      else
+        export DLHT_FAULT="$mode"
+      fi
+      "$KRW" --run "$dir" &
+      pid=$!
+      sleep "$CHURN"
+      kill -9 "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
       unset DLHT_FAULT || true
-    else
-      export DLHT_FAULT="$mode"
-    fi
-    "$KRW" --run "$dir" &
-    pid=$!
-    sleep "$CHURN"
-    kill -9 "$pid" 2>/dev/null
-    wait "$pid" 2>/dev/null
-    unset DLHT_FAULT || true
-    if ! "$KRW" --audit "$dir"; then
-      echo "kill_recover FAIL: rep=$rep mode=$mode dir=$dir (kept for inspection)"
-      exit 1
-    fi
+      if ! "$KRW" --audit "$dir"; then
+        echo "kill_recover FAIL: rep=$rep mode=$mode cycle=$cycle dir=$dir (kept for inspection)"
+        exit 1
+      fi
+    done
     rm -rf "$dir"
   done
 done
-echo "kill_recover OK: $REPEAT pass(es) x modes [$MODES]"
+echo "kill_recover OK: $REPEAT pass(es) x modes [$MODES] x 2 kill cycles"

@@ -95,8 +95,9 @@ struct Committer {
   }
 };
 
-void writer_thread(dlht::DurableDLHT* db, Committer* committer, unsigned t) {
-  for (std::uint64_t i = 1; i < (1ull << 40); ++i) {
+void writer_thread(dlht::DurableDLHT* db, Committer* committer, unsigned t,
+                   std::uint64_t first) {
+  for (std::uint64_t i = first; i < (1ull << 40); ++i) {
     const std::uint64_t k = key_of(t, i);
     db->put(k, val_of(k));
     // Delete churn on scratch keys only (put then erase); committed keys
@@ -130,10 +131,28 @@ int run(const std::string& dir) {
     return 1;
   }
 
+  // Resume from a previous kill cycle against the same dir: start each
+  // thread past its committed watermark (and never publish a lower one),
+  // so a later audit demands the union of every cycle's committed keys —
+  // this is what catches cross-restart loss, e.g. a checkpoint renaming a
+  // live log over a frozen segment from the previous run.
+  std::uint64_t start[kThreads] = {};
+  if (std::FILE* f = std::fopen((dir + "/progress").c_str(), "r")) {
+    unsigned t;
+    std::uint64_t w;
+    while (std::fscanf(f, "%u %" SCNu64, &t, &w) == 2) {
+      if (t < kThreads) start[t] = w;
+    }
+    std::fclose(f);
+  }
+  for (unsigned t = 0; t < kThreads; ++t) {
+    g_applied[t].store(start[t], std::memory_order_release);
+  }
+
   Committer committer{&db, dir + "/progress", {}};
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < kThreads; ++t) {
-    workers.emplace_back(writer_thread, &db, &committer, t);
+    workers.emplace_back(writer_thread, &db, &committer, t, start[t] + 1);
   }
   // Background checkpoints: SIGKILL lands before/during/after snapshot
   // writes and WAL rotations depending on timing.

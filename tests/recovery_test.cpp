@@ -261,6 +261,11 @@ void torn_tail_truncated() {
     const auto buf = slurp(files[0]);
     CHECK(buf.size() % kWalRecordBytes == 0);
     CHECK(wal_decode(buf.data(), buf.size()).tail == WalTail::kClean);
+    // A torn tail is the expected crash signature, not an error.
+    const auto s = db.stats();
+    CHECK(s.io_errors == 0);
+    CHECK(s.wal_corrupt_tails == 0);
+    CHECK(::access((files[0] + ".corrupt").c_str(), F_OK) != 0);
   }
   remove_dir(dir);
 }
@@ -304,6 +309,14 @@ void bad_crc_tail_rejected() {
     CHECK(db.open() == Status::kOk);
     audit_exact(db, expect, "bad_crc_tail_rejected");
     CHECK(!db.get(last.key).has_value());
+    // Unlike a torn tail, a CRC-corrupt one is surfaced in stats and the
+    // discarded bytes are preserved beside the log for inspection.
+    const auto s = db.stats();
+    CHECK(s.io_errors >= 1);
+    CHECK(s.wal_corrupt_tails == 1);
+    CHECK(s.wal_discarded_bytes == kWalRecordBytes);
+    const auto kept = slurp(files[0] + ".corrupt");
+    CHECK(kept.size() == kWalRecordBytes);
   }
   remove_dir(dir);
 }
@@ -341,13 +354,19 @@ void mid_file_corruption_stops_replay() {
     std::fputc(c ^ 0x80, f);
     std::fclose(f);
   }
+  const std::size_t total = buf.size();
   {
     DurableDLHT db(small_options(), {dir});
     CHECK(db.open() == Status::kOk);
     audit_exact(db, expect, "mid_file_corruption_stops_replay");
-    // The untrusted suffix was truncated away.
+    // The untrusted suffix was truncated away — but counted and kept.
     const auto after = slurp(files[0]);
     CHECK(after.size() == cut * kWalRecordBytes);
+    const auto s = db.stats();
+    CHECK(s.wal_corrupt_tails == 1);
+    CHECK(s.wal_discarded_bytes == total - cut * kWalRecordBytes);
+    const auto kept = slurp(files[0] + ".corrupt");
+    CHECK(kept.size() == total - cut * kWalRecordBytes);
   }
   remove_dir(dir);
 }
@@ -471,6 +490,120 @@ void checkpoint_gc_and_cycles() {
   remove_dir(dir);
 }
 
+// Regression: frozen-segment names must never collide across restarts.
+// A crash mid-checkpoint (here: the snapshot fsync fails after the WAL was
+// rotated) leaves wal-0.log.R.old holding committed records no snapshot
+// covers. Before the fix, the next run's rotation counter restarted at 0
+// and its first checkpoint renamed the live log over that segment — a
+// second mid-checkpoint crash then lost generation 1 silently.
+void checkpoint_crash_keeps_frozen_generations() {
+  std::puts("checkpoint_crash_keeps_frozen_generations");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  Options o = small_options();
+  o.wal_fsync_interval_ops = 1u << 20;  // only explicit syncs hit the disk
+  auto run_generation = [&](std::uint64_t lo, std::uint64_t hi) {
+    FaultSpec faults;
+    DurableDLHT db(o, {dir, 1, &faults});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = lo; k <= hi; ++k) {
+      db.put(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+    // Crash mid-checkpoint: the shard rotation sync succeeds, the
+    // snapshot's own fsync fails — the frozen segment is now the only
+    // durable copy of this generation.
+    faults.fail_sync_at = faults.syncs.load(std::memory_order_relaxed) + 2;
+    CHECK(db.checkpoint() == Status::kIOError);
+    CHECK(db.degraded());
+  };
+  run_generation(1, 300);
+  run_generation(301, 600);  // must freeze beside generation 1, not over it
+  {  // both frozen generations are on disk under distinct names
+    int frozen = 0;
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (struct dirent* e = ::readdir(d)) {
+        const std::string n = e->d_name;
+        if (n.size() > 4 && n.compare(n.size() - 4, 4, ".old") == 0) ++frozen;
+      }
+      ::closedir(d);
+    }
+    CHECK(frozen == 2);
+  }
+  {
+    DurableDLHT db(o, {dir, 1});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "checkpoint_crash_keeps_frozen_generations");
+    // A finally-successful checkpoint GCs every frozen generation.
+    CHECK(db.checkpoint() == Status::kOk);
+  }
+  {
+    DurableDLHT db(o, {dir, 1});
+    CHECK(db.open() == Status::kOk);
+    CHECK(db.stats().recovered_snapshot_lsn > 0);
+    audit_exact(db, expect, "checkpoint_crash_keeps_frozen_generations/gc");
+    int frozen = 0;
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (struct dirent* e = ::readdir(d)) {
+        const std::string n = e->d_name;
+        if (n.size() > 4 && n.compare(n.size() - 4, 4, ".old") == 0) ++frozen;
+      }
+      ::closedir(d);
+    }
+    CHECK(frozen == 0);
+  }
+  remove_dir(dir);
+}
+
+// Reopening a directory with fewer wal_shards than it was written with:
+// the excess shard logs are folded into the frozen-segment lifecycle
+// (replayed, then GC'd by the next successful checkpoint) instead of
+// being re-read forever.
+void fewer_shards_fold_orphan_logs() {
+  std::puts("fewer_shards_fold_orphan_logs");
+  const std::string dir = make_dir();
+  std::unordered_map<std::uint64_t, std::uint64_t> expect;
+  {
+    DurableDLHT db(small_options(), {dir, 8});
+    CHECK(db.open() == Status::kOk);
+    for (std::uint64_t k = 1; k <= 2000; ++k) {
+      db.put(k, val_of(k));
+      expect[k] = val_of(k);
+    }
+    CHECK(db.wal_sync() == Status::kOk);
+  }
+  {
+    DurableDLHT db(small_options(), {dir, 2});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "fewer_shards_fold_orphan_logs");
+    CHECK(db.checkpoint() == Status::kOk);
+  }
+  // Only the two live logs remain; every orphan (and frozen segment) is
+  // gone, and the data survives the shard-count change.
+  int live = 0, stale = 0;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n.compare(0, 4, "wal-") != 0) continue;
+      if (n == "wal-0.log" || n == "wal-1.log") {
+        ++live;
+      } else {
+        ++stale;
+      }
+    }
+    ::closedir(d);
+  }
+  CHECK(live == 2);
+  CHECK(stale == 0);
+  {
+    DurableDLHT db(small_options(), {dir, 2});
+    CHECK(db.open() == Status::kOk);
+    audit_exact(db, expect, "fewer_shards_fold_orphan_logs/reopen");
+  }
+  remove_dir(dir);
+}
+
 void in_memory_mode() {
   std::puts("in_memory_mode");
   DurableDLHT db(small_options(), {});  // empty dir: durability off
@@ -584,6 +717,8 @@ int main() {
   fail_at_nth_sync_degrades();
   injected_write_faults_recover();
   checkpoint_gc_and_cycles();
+  checkpoint_crash_keeps_frozen_generations();
+  fewer_shards_fold_orphan_logs();
   in_memory_mode();
   fuzz_wal_and_snapshot_decoders();
   if (g_failures != 0) {
