@@ -11,6 +11,13 @@
 //                        ({fig, config, ops_per_sec, p50/p99_ns, rows}) to
 //                        PATH when the binary exits — the perf-trajectory
 //                        record scripts/bench_json.sh collects in CI
+//     --probe ENGINE     probe engine for every table the bench builds:
+//                        auto|swar|avx2|avx512 (default auto; also the
+//                        DLHT_PROBE env knob — the flag wins). Requesting
+//                        an engine this host cannot run is a hard error,
+//                        never a silent fallback: mislabeled trajectory
+//                        numbers are worse than no numbers. The resolved
+//                        engine is recorded in the JSON config tag.
 // The defaults are sized for a small VM; on a big box, raise --keys and
 // --ms toward the paper's configuration (100M keys, multi-second points).
 #pragma once
@@ -49,13 +56,63 @@ inline std::uint64_t now_ns() {
 ///                        size multiplier (Options::growth_factor).
 ///   DLHT_ABLATION        comma list of features to disable: nofp
 ///                        (fingerprints), nolink (link chains), noinplace
-///                        (in-place updates). "nobatch" is honored by the
-///                        benches that sweep batching, not here.
+///                        (in-place updates), nosimd (the SIMD batched
+///                        probe — forces the SWAR engine). "nobatch" is
+///                        honored by the benches that sweep batching, not
+///                        here.
+///   DLHT_PROBE           probe engine (auto|swar|avx2|avx512); see
+///                        requested_probe() below.
 /// Overlay the DLHT_GROWTH_FACTOR / DLHT_ABLATION env knobs onto `o`.
 /// dlht_options() applies this automatically; benches that build Options
 /// by hand (fig07/fig08's growth tables, tab01's occupancy study) call it
 /// so the knobs work everywhere REPRODUCING.md says they do.
+/// Parse a probe-engine name, refusing loudly (exit 2) both unknown names
+/// and engines this host cannot execute. Refusal beats the core's silent
+/// degrade-to-SWAR here because a bench run that *labels* itself avx2 must
+/// actually have run avx2 — the trajectory JSON is only comparable if the
+/// config tag tells the truth.
+inline ProbeStrategy parse_probe_or_die(const char* s, const char* origin) {
+  ProbeStrategy req;
+  if (std::strcmp(s, "auto") == 0) {
+    req = ProbeStrategy::kAuto;
+  } else if (std::strcmp(s, "swar") == 0) {
+    req = ProbeStrategy::kSwar;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    req = ProbeStrategy::kAvx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    req = ProbeStrategy::kAvx512;
+  } else {
+    std::fprintf(stderr,
+                 "bench: unknown probe engine '%s' (from %s); expected "
+                 "auto|swar|avx2|avx512\n",
+                 s, origin);
+    std::exit(2);
+  }
+  if (!probe::host_supports(req)) {
+    std::fprintf(stderr,
+                 "bench: probe engine '%s' requested via %s, but this host "
+                 "cannot execute it — refusing to run (numbers would be "
+                 "silently mislabeled). Use '--probe auto' for runtime "
+                 "dispatch.\n",
+                 s, origin);
+    std::exit(2);
+  }
+  return req;
+}
+
+/// The probe engine every bench-built table requests: the --probe flag
+/// (parse_args) wins over the DLHT_PROBE env knob; default kAuto.
+inline ProbeStrategy& requested_probe() {
+  static ProbeStrategy s = [] {
+    const char* env = std::getenv("DLHT_PROBE");
+    return env != nullptr ? parse_probe_or_die(env, "DLHT_PROBE")
+                          : ProbeStrategy::kAuto;
+  }();
+  return s;
+}
+
 inline Options apply_env_knobs(Options o) {
+  o.probe_strategy = requested_probe();
   if (const char* env = std::getenv("DLHT_GROWTH_FACTOR")) {
     char* end = nullptr;
     const auto f = std::strtoull(env, &end, 10);
@@ -75,6 +132,7 @@ inline Options apply_env_knobs(Options o) {
     if (std::strstr(env, "nofp")) o.ablation.fingerprints = false;
     if (std::strstr(env, "nolink")) o.ablation.link_chains = false;
     if (std::strstr(env, "noinplace")) o.ablation.inplace_updates = false;
+    if (std::strstr(env, "nosimd")) o.ablation.simd_probe = false;
   }
   if (const char* env = std::getenv("DLHT_WAL_FSYNC_OPS")) {
     char* end = nullptr;
@@ -334,6 +392,8 @@ inline Args parse_args(int argc, char** argv) {
     } else if (arg == "--threads-list") {
       auto ts = parse_thread_list(next());
       if (!ts.empty()) a.threads_list = std::move(ts);  // never leave it empty
+    } else if (arg == "--probe") {
+      requested_probe() = parse_probe_or_die(next(), "--probe");
     }
   }
   if (!json_sink().path.empty()) {
@@ -343,6 +403,12 @@ inline Args parse_args(int argc, char** argv) {
       if (i != 0) cfg += ',';
       cfg += std::to_string(a.threads_list[i]);
     }
+    // Tag the trajectory point with the probe engine the tables will
+    // actually dispatch (never "auto"): bench_diff.py skips comparisons
+    // whose configs differ, so points from different engines are never
+    // silently compared against each other.
+    cfg += " probe=";
+    cfg += probe::name(DLHT::resolved_probe(apply_env_knobs(Options{})));
     json_sink().config = std::move(cfg);
     std::atexit(flush_json);  // written however the bench exits normally
     // A killed run (CI cancellation, the kill-and-recover harness, ^C)
@@ -360,6 +426,15 @@ inline Args parse_args(int argc, char** argv) {
     }
   }
   return a;
+}
+
+/// One-line, self-labeling record of the dispatched probe engine and what
+/// the host could run — printed by the benches whose numbers depend on it.
+inline void print_probe_engine() {
+  std::printf("# probe engine: %s (host supports: swar%s%s)\n",
+              probe::name(DLHT::resolved_probe(apply_env_knobs(Options{}))),
+              probe::host_supports(ProbeStrategy::kAvx2) ? ",avx2" : "",
+              probe::host_supports(ProbeStrategy::kAvx512) ? ",avx512" : "");
 }
 
 inline void print_header(const char* figure, const char* description) {

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   double dlht_peak = 0, nobatch_peak = 0, mica_peak = 0;
 
+  print_probe_engine();
   {
     InlinedMap m(dlht_options(keys));
     workload::populate(m, keys);
@@ -28,6 +29,19 @@ int main(int argc, char** argv) {
       const double v = get_tput(m, keys, t, secs, 1);
       nobatch_peak = std::max(nobatch_peak, v);
       print_row("fig03", "DLHT-NoBatch", t, v, "Mreq/s");
+    }
+  }
+  // When the dispatched engine is SIMD, also sweep a forced-SWAR table so
+  // the figure shows what the vector probe contributes at each thread
+  // count (its sibling micro-view is micro_ops' single-thread sweep).
+  if (DLHT::resolved_probe(dlht_options(keys)) != ProbeStrategy::kSwar) {
+    Options o = dlht_options(keys);
+    o.probe_strategy = ProbeStrategy::kSwar;
+    InlinedMap m(o);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig03", "DLHT-SwarProbe", t,
+                get_tput(m, keys, t, secs, kDefaultBatch), "Mreq/s");
     }
   }
   {

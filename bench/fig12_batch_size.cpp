@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
 
   double get_scalar = 0, get_b1 = 0, get_peak = 0, get_last = 0;
 
+  print_probe_engine();
+
   // Get across batch sizes (x = 0 is the scalar API).
   {
     InlinedMap m(dlht_options(keys));
@@ -35,6 +37,28 @@ int main(int argc, char** argv) {
       if (b == 1) get_b1 = v;
       get_peak = std::max(get_peak, v);
       get_last = v;
+    }
+  }
+
+  // Same Get sweep per probe engine the host can run beyond the dispatched
+  // one's SWAR floor: batch size is where the engines separate (SIMD needs
+  // >= 8 in-flight probes per sweep to fill its lanes), so the batch-size
+  // curve is the natural place to see the crossover.
+  if (DLHT::resolved_probe(dlht_options(keys)) != ProbeStrategy::kSwar) {
+    for (const ProbeStrategy e :
+         {ProbeStrategy::kSwar, ProbeStrategy::kAvx2, ProbeStrategy::kAvx512}) {
+      if (!probe::host_supports(e)) continue;
+      Options o = dlht_options(keys);
+      o.probe_strategy = e;
+      InlinedMap m(o);
+      workload::populate(m, keys);
+      const std::string series = std::string("Get[") + probe::name(e) + "]";
+      for (const std::size_t b : {1ul, 8ul, 24ul, 64ul}) {
+        print_row("fig12", series, static_cast<double>(b),
+                  run_tput(threads, secs,
+                           workload::make_get_batch_worker(m, keys, b, 7)),
+                  "Mreq/s");
+      }
     }
   }
 

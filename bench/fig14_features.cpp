@@ -7,12 +7,13 @@
 //   NoFingerprints probes compare full keys in every valid slot
 //   NoLinkChains   bounded one-line index: chain-full inserts fail
 //   NoInplace      puts republish through the two-phase shadow path
+//   NoSimdProbe    batched probes forced onto the portable SWAR engine
 //   NoBatch        scalar Gets instead of the prefetch pipeline
 //
 // Each config reports Get and PutHeavy throughput; NoLinkChains also
 // reports how much of the key set it could hold at all (the capacity the
 // chains buy). The same toggles are reachable in every bench via
-// DLHT_ABLATION=nofp,nolink,noinplace,nobatch.
+// DLHT_ABLATION=nofp,nolink,noinplace,nosimd,nobatch.
 #include <algorithm>
 #include <string>
 
@@ -80,6 +81,11 @@ int main(int argc, char** argv) {
   noip.ablation.inplace_updates = false;
   const ConfigResult no_ip = bench_config("NoInplace", args, noip, true);
 
+  Options nosimd = base;
+  nosimd.ablation.simd_probe = false;
+  const ConfigResult no_simd =
+      bench_config("NoSimdProbe", args, nosimd, true);
+
   const ConfigResult no_batch = bench_config("NoBatch", args, base, false);
 
   // The deterministic claims: chains buy capacity (a bounded index cannot
@@ -92,6 +98,9 @@ int main(int argc, char** argv) {
               def.putheavy > no_ip.putheavy);
   check_shape("fingerprints speed up probes",
               def.get > no_fp.get);
+  // Equal when the host dispatches SWAR anyway (no SIMD to ablate).
+  check_shape("SIMD probe >= SWAR probe on batched Gets",
+              def.get >= no_simd.get * 0.95);
   check_shape("batched Gets beat scalar (DRAM-resident tables)",
               def.get > no_batch.get);
   return 0;

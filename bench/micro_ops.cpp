@@ -7,6 +7,9 @@
 // claim at the heart of the paper. Pass --full to also run the
 // google-benchmark op-cost suite (when the library is available).
 #include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
 
 #include "alloc/pool_allocator.hpp"
 #include "baselines/baselines.hpp"
@@ -313,6 +316,95 @@ void run_shape_check(const bench::Args& args) {
                      batched >= 1.5 * scalar);
 }
 
+/// Probe-engine sweep: one table per engine this host can execute, same
+/// keyset and batched-Get workload, so the SWAR/AVX2/AVX-512 rows are
+/// directly comparable. Runs at --keys scale (cache-resident by default):
+/// that is where header matching is the bottleneck and the SIMD engines
+/// must earn their keep — at memory-bound scale the prefetch pipeline
+/// hides most of the matching cost anyway. Single-threaded: the engines
+/// differ per-core, not in scalability.
+void run_probe_sweep(const bench::Args& args) {
+  const Options base = bench::dlht_options(args.keys);
+  if (!base.ablation.simd_probe || !base.ablation.fingerprints) {
+    std::printf("# probe sweep skipped (SIMD probe ablated away)\n");
+    return;
+  }
+  std::vector<ProbeStrategy> engines{ProbeStrategy::kSwar};
+  if (probe::host_supports(ProbeStrategy::kAvx2)) {
+    engines.push_back(ProbeStrategy::kAvx2);
+  }
+  if (probe::host_supports(ProbeStrategy::kAvx512)) {
+    engines.push_back(ProbeStrategy::kAvx512);
+  }
+
+  constexpr std::size_t kBatch = 24;
+
+  // One table per engine, built up front. The replay worker pregenerates
+  // one shared key stream, so every engine probes the identical sequence
+  // and no per-key generator time dilutes the probe-pipeline comparison.
+  std::vector<std::unique_ptr<InlinedMap>> tables;
+  for (const ProbeStrategy e : engines) {
+    Options o = base;
+    o.probe_strategy = e;
+    tables.push_back(std::make_unique<InlinedMap>(o));
+    workload::populate(*tables.back(), args.keys);
+  }
+
+  // Fine-grained interleaved measurement. A shared-CPU runner has ±15%
+  // interference noise at the tens-of-milliseconds scale, so exclusive
+  // per-engine timed trials compare different interference eras and the
+  // ratio under test moves by more than the effect. Instead the engines
+  // take turns in ~2 ms slices across the whole window: a noise burst
+  // lands on every engine nearly equally (the standard paired-comparison
+  // design), and per-engine throughput is total ops / total in-slice
+  // time. The inner 8-call unroll keeps the clock read off the per-batch
+  // path so timing overhead stays equal and negligible for all engines.
+  using clk = std::chrono::steady_clock;
+  constexpr double kSliceSecs = 0.002;
+  const double per_engine_secs = std::max(args.seconds(), 0.1);
+  const int rounds =
+      std::max(1, static_cast<int>(per_engine_secs / kSliceSecs));
+  std::vector<std::function<std::size_t()>> workers;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    workers.push_back(workload::make_get_batch_replay_worker(
+        *tables[i], args.keys, kBatch, 7)(0));
+  }
+  std::vector<double> ops(engines.size(), 0.0);
+  std::vector<double> secs(engines.size(), 0.0);
+  for (int r = -1; r < rounds; ++r) {  // round -1 = untimed warmup slices
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      std::size_t done = 0;
+      const auto t0 = clk::now();
+      auto t1 = t0;
+      do {
+        for (int k = 0; k < 8; ++k) done += workers[i]();
+        t1 = clk::now();
+      } while (std::chrono::duration<double>(t1 - t0).count() < kSliceSecs);
+      if (r < 0) continue;
+      ops[i] += static_cast<double>(done);
+      secs[i] += std::chrono::duration<double>(t1 - t0).count();
+    }
+  }
+
+  double swar = 0.0;
+  double avx2 = 0.0;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const double mreqs = ops[i] / secs[i] / 1e6;
+    bench::print_row(
+        "micro_ops",
+        std::string("Get/batch24[") + probe::name(engines[i]) + "]", 1,
+        mreqs, "Mreq/s");
+    if (engines[i] == ProbeStrategy::kSwar) swar = mreqs;
+    if (engines[i] == ProbeStrategy::kAvx2) avx2 = mreqs;
+  }
+  if (avx2 > 0.0) {
+    bench::check_shape("AVX2 batched Get >= 1.15x SWAR batched Get",
+                       avx2 >= 1.15 * swar);
+  } else {
+    std::printf("# shape skip: AVX2 vs SWAR (host lacks AVX2)\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,7 +416,9 @@ int main(int argc, char** argv) {
 
   dlht::bench::print_header("micro_ops",
                             "op-level costs + batching shape check");
+  dlht::bench::print_probe_engine();
   run_shape_check(args);
+  run_probe_sweep(args);
 
   if (full) {
 #ifdef DLHT_HAVE_GBENCH

@@ -31,6 +31,15 @@ enum class SlotState : std::uint8_t {
 
 namespace hdr {
 
+// Layout constants shared with the probe-strategy layer (dlht/probe.hpp):
+// the SWAR and SIMD matchers operate on raw header words byte-wise, so the
+// byte positions below are load-bearing — the fingerprint bytes must stay
+// the three lowest bytes and the packed slot states must stay in byte 3
+// for the per-lane shuffle/compare kernels to be rewritten against them.
+constexpr int kFingerprintBytes = kSlotsPerBucket;  // header bytes [0..2]
+constexpr int kStateShift = 24;                     // states at bits [24..29]
+constexpr int kStateBitsPerSlot = 2;
+
 constexpr std::uint64_t kLockBit = 1ull << 30;
 
 constexpr std::uint8_t fingerprint(std::uint64_t h, int slot) {

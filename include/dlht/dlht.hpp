@@ -46,6 +46,7 @@
 #include "dlht/bucket.hpp"
 #include "dlht/epoch.hpp"
 #include "dlht/hash.hpp"
+#include "dlht/probe.hpp"
 #include "dlht/sync.hpp"
 
 namespace dlht {
@@ -102,6 +103,15 @@ struct Options {
   /// interval. 0 disables the committer thread (explicit wal_sync() only).
   std::uint32_t wal_group_commit_us = 500;
 
+  /// Probe engine for the batched pipeline (dlht/probe.hpp): kAuto resolves
+  /// to the widest engine this CPU supports at construction (cpuid, never
+  /// per probe). An explicit SIMD kind on a host without it degrades to
+  /// kSwar — the core always runs; benches refuse instead (bench `--probe`
+  /// / DLHT_PROBE knob). Scalar ops and the write-side slot search always
+  /// use the portable SWAR matchers regardless of this setting: SIMD pays
+  /// off where 8 prefetched headers can be matched per instruction.
+  ProbeStrategy probe_strategy = ProbeStrategy::kAuto;
+
   /// Runtime ablation toggles (fig14/tab01/ablation_design): each disables
   /// one design feature so its contribution can be measured. Defaults are
   /// the paper's design. Batching has no toggle here because it is a
@@ -120,6 +130,10 @@ struct Options {
     /// through the two-phase shadow-insert path (three home-lock
     /// acquisitions) instead of overwriting the value in place under one.
     bool inplace_updates = true;
+    /// Off: the runtime-dispatched SIMD batched probe is disabled and every
+    /// probe runs the portable SWAR path, whatever probe_strategy says —
+    /// fig14's simd_probe ablation (DLHT_ABLATION=nosimd bench knob).
+    bool simd_probe = true;
   };
   Ablation ablation;
 };
@@ -156,8 +170,19 @@ class DLHT {
     std::uint64_t user = 0;
   };
 
+  /// The probe engine a table built with `o` would actually run: cpuid
+  /// resolution of o.probe_strategy, forced to SWAR when the simd_probe or
+  /// fingerprints ablation removes what SIMD accelerates. Exposed so bench
+  /// config tags can record the dispatched engine without building a table.
+  static ProbeStrategy resolved_probe(const Options& o) {
+    if (!o.ablation.simd_probe || !o.ablation.fingerprints) {
+      return ProbeStrategy::kSwar;
+    }
+    return probe::resolve(o.probe_strategy);
+  }
+
   explicit DLHT(const Options& o)
-      : opts_(o), epoch_(o.max_threads) {
+      : opts_(o), probe_(resolved_probe(o)), epoch_(o.max_threads) {
     cur_.store(new TableInstance(o.initial_bins, o.link_ratio),
                std::memory_order_release);
   }
@@ -178,6 +203,9 @@ class DLHT {
     return cur_.load(std::memory_order_acquire)->mask_ + 1;
   }
   const Options& options() const { return opts_; }
+
+  /// The probe engine this table dispatched at construction (never kAuto).
+  ProbeStrategy probe_strategy() const { return probe_; }
 
   /// Completed *growth* migrations since construction (shrinks are
   /// counted separately by shrinks_completed()).
@@ -379,12 +407,8 @@ class DLHT {
   /// probes (correctness first; the window is transient).
   void get_batch(const std::uint64_t* keys, Reply* out, std::size_t n) const {
     EpochManager::Guard g(epoch_);
-    constexpr std::size_t kChunk = 64;
-    const Bucket* cur[kChunk];
-    std::uint8_t fp[kChunk];
-    std::uint16_t active[kChunk];
-    for (std::size_t base = 0; base < n; base += kChunk) {
-      const std::size_t m = n - base < kChunk ? n - base : kChunk;
+    for (std::size_t base = 0; base < n; base += kGetChunk) {
+      const std::size_t m = n - base < kGetChunk ? n - base : kGetChunk;
       const TableInstance* t = cur_.load(std::memory_order_acquire);
       if (t->next.load(std::memory_order_acquire) != nullptr) {
         for (std::size_t j = 0; j < m; ++j) {
@@ -393,34 +417,7 @@ class DLHT {
         }
         continue;
       }
-      for (std::size_t j = 0; j < m; ++j) {
-        const std::uint64_t h = hash_(keys[base + j]);
-        cur[j] = &t->main_[h & t->mask_];
-        fp[j] = fp_of(h);
-        __builtin_prefetch(cur[j], 0, 3);
-        active[j] = static_cast<std::uint16_t>(j);
-      }
-      std::size_t na = m;
-      while (na > 0) {
-        std::size_t keep = 0;
-        for (std::size_t s = 0; s < na; ++s) {
-          const std::size_t j = active[s];
-          Reply& rp = out[base + j];
-          const std::uint64_t k = keys[base + j];
-          const Bucket* next = probe_bucket(t, cur[j], fp[j], k, rp);
-          if (next == &kRedirectBucket) {
-            // A resize started mid-pipeline: resolve this key scalar-style.
-            get_on(t, hash_(k), k, rp);
-            continue;
-          }
-          if (next != nullptr) {
-            cur[j] = next;
-            __builtin_prefetch(next, 0, 3);
-            active[keep++] = static_cast<std::uint16_t>(j);
-          }
-        }
-        na = keep;
-      }
+      probe_chunk(t, keys + base, out + base, m);
     }
   }
 
@@ -442,6 +439,27 @@ class DLHT {
         const Request& rq = reqs[base + j];
         Reply& rp = reps[base + j];
         rp.user = rq.user;
+        // A run of consecutive Gets has no intra-run ordering constraint
+        // (Gets don't mutate, and every earlier write in the batch has
+        // already been applied), so hand it to the vectorized batched-Get
+        // pipeline instead of probing one key at a time. This is how mixed
+        // batches (e.g. read-heavy YCSB) reach the SIMD probe engine.
+        if (rq.op == OpType::kGet) {
+          std::size_t e = j + 1;
+          while (e < m && reqs[base + e].op == OpType::kGet) ++e;
+          const TableInstance* ct = cur_.load(std::memory_order_acquire);
+          if (e - j >= 8 &&
+              ct->next.load(std::memory_order_acquire) == nullptr) {
+            std::uint64_t ks[kChunk];
+            for (std::size_t r = j; r < e; ++r) {
+              ks[r - j] = reqs[base + r].key;
+              reps[base + r].user = reqs[base + r].user;
+            }
+            probe_chunk(ct, ks, &reps[base + j], e - j);
+            j = e - 1;
+            continue;
+          }
+        }
         switch (rq.op) {
           case OpType::kGet:
             get_on(cur_.load(std::memory_order_acquire), hs[j], rq.key, rp);
@@ -548,12 +566,34 @@ class DLHT {
     }
   }
 
+  /// Test/diagnostic only: walk `key`'s current chain once and count the
+  /// fingerprint-candidate slots a Get would have to full-key-compare
+  /// (including the hit itself when the key is present). Quiescent use
+  /// only — no lock spin or migration chasing — so tests can measure the
+  /// fingerprint false-positive rate without hot-path counters.
+  std::size_t debug_probe_candidates(std::uint64_t key) const {
+    EpochManager::Guard g(epoch_);
+    const TableInstance* t = cur_.load(std::memory_order_acquire);
+    const std::uint64_t h = hash_(key);
+    const std::uint8_t f = fp_of(h);
+    std::size_t n = 0;
+    const Bucket* b = &t->main_[h & t->mask_];
+    while (b != nullptr) {
+      const std::uint64_t v1 = S::load_acquire(&b->header);
+      n += static_cast<std::size_t>(
+          __builtin_popcount(probe::match_valid(v1, f)));
+      const std::uint32_t lk = __atomic_load_n(&b->link, __ATOMIC_ACQUIRE);
+      b = lk != 0 ? t->link_at(lk) : nullptr;
+    }
+    return n;
+  }
+
  private:
   using S = Sync<true>;
 
-  static std::uint8_t fp_of(std::uint64_t h) {
-    return static_cast<std::uint8_t>(h >> 56);
-  }
+  /// Slot fingerprint for a hash — probe.hpp owns the derivation (mixed
+  /// top bytes, disjoint from the bin-index bits).
+  static std::uint8_t fp_of(std::uint64_t h) { return probe::fp_of(h); }
 
   static Bucket* alloc_buckets(std::size_t count) {
     const std::size_t bytes = count * sizeof(Bucket);
@@ -709,17 +749,13 @@ class DLHT {
         continue;
       }
       if (__builtin_expect(hdr::migrated(v1), 0)) return &kRedirectBucket;
-      // High bit of each fingerprint byte set iff that byte equals fp.
-      const std::uint32_t fps = static_cast<std::uint32_t>(v1) & 0xffffffu;
-      const std::uint32_t x = fps ^ (0x010101u * fp);
-      std::uint32_t cand = (x - 0x010101u) & ~x & 0x808080u;
-      // Mask to slots in state kValid (2-bit state == 01).
-      const std::uint32_t st = static_cast<std::uint32_t>(v1 >> 24) & 0x3fu;
-      const std::uint32_t valid = st & ~(st >> 1) & 0x15u;  // bit 2i per slot
-      const std::uint32_t valid_mask =
-          ((valid & 1u) << 7) | ((valid & 4u) << 13) | ((valid & 16u) << 19);
-      // Fingerprint ablation: probe every valid slot by full-key compare.
-      cand = opts_.ablation.fingerprints ? (cand & valid_mask) : valid_mask;
+      // Candidate slots via the probe layer's raw SWAR matchers (bit 8i+7
+      // = slot i — peeled with ctz>>3, skipping the normalized form's
+      // compression). Fingerprint ablation: probe every valid slot by
+      // full-key compare.
+      std::uint32_t cand = opts_.ablation.fingerprints
+                               ? probe::match_valid_raw(v1, fp)
+                               : probe::valid_slots_raw(v1);
       while (cand != 0) {
         const int i = __builtin_ctz(cand) >> 3;
         const std::uint64_t k = S::load_relaxed(&b->slots[i].key);
@@ -765,6 +801,243 @@ class DLHT {
     }
   }
 
+  /// Slow-lane resolution for the SIMD pipeline: finish one key entirely
+  /// through the scalar chain walk (locked header, seqlock retry, or
+  /// migration redirect knocked it out of the vector sweep).
+  void resolve_scalar(const TableInstance* t, const Bucket* b,
+                      std::uint8_t fp, std::uint64_t key, Reply& rp) const {
+    for (;;) {
+      const Bucket* next = probe_bucket(t, b, fp, key, rp);
+      if (next == nullptr) return;
+      if (next == &kRedirectBucket) {
+        get_on(t, hash_(key), key, rp);
+        return;
+      }
+      b = next;
+    }
+  }
+
+  static constexpr std::size_t kGetChunk = 64;
+
+#if DLHT_PROBE_X86_SIMD
+  /// Consume one gathered group of 8 lanes given the packed candidate mask
+  /// from a probe.hpp x8 kernel; kStride is the mask's per-lane bit stride
+  /// (4 for the compact AVX2 form, 8 for the byte-stride AVX-512 form).
+  /// Deliberately baseline-target: a caller may
+  /// always inline a callee compiled for a subset of its ISA, so this one
+  /// body serves both per-engine sweeps below. always_inline is load-
+  /// bearing — left to its own cost model GCC keeps this out of line, and
+  /// an 11-argument call per 8 lanes costs more than the vector matching
+  /// saves.
+  template <int kStride>
+  __attribute__((always_inline)) inline void consume_group(const TableInstance* t, const std::uint64_t* keys,
+                            const std::uint8_t* fp, const Bucket** cur,
+                            std::uint16_t* active, std::size_t s, Reply* out,
+                            const std::uint64_t* hd, std::uint64_t cmask,
+                            std::size_t& keep, bool identity) const {
+    for (int j = 0; j < 8; ++j) {
+      const std::size_t lane = identity ? s + j : active[s + j];
+      Reply& rp = out[lane];
+      const std::uint64_t k = keys[lane];
+      const Bucket* b = cur[lane];
+      const std::uint64_t v1 = hd[j];
+      if (__builtin_expect((v1 & (hdr::kLockBit | hdr::kMigratedBit)) != 0,
+                           0)) {
+        resolve_scalar(t, b, fp[lane], k, rp);
+        continue;
+      }
+      std::uint32_t cand =
+          static_cast<std::uint32_t>(cmask >> (kStride * j)) & 7u;
+      bool resolved = false;
+      bool torn = false;
+      while (cand != 0) {
+        const int i = __builtin_ctz(cand);
+        const std::uint64_t sk = S::load_relaxed(&b->slots[i].key);
+        const std::uint64_t sv = S::load_relaxed(&b->slots[i].value);
+        // Same seqlock validation as the scalar probe: the fence keeps the
+        // slot loads above the header re-read.
+        __atomic_thread_fence(__ATOMIC_ACQUIRE);
+        if (S::load_relaxed(&b->header) != v1) {
+          torn = true;
+          break;
+        }
+        if (sk == k) {
+          rp.status = Status::kOk;
+          rp.value = sv;
+          resolved = true;
+          break;
+        }
+        cand &= cand - 1;
+      }
+      if (__builtin_expect(torn, 0)) {
+        resolve_scalar(t, b, fp[lane], k, rp);
+        continue;
+      }
+      if (resolved) continue;
+      // Miss in this bucket. No slot bytes were trusted (candidates came
+      // from the atomically-loaded header itself), so no re-validation is
+      // needed — exactly the scalar miss path.
+      const std::uint32_t lk = __atomic_load_n(&b->link, __ATOMIC_ACQUIRE);
+      if (lk != 0) {
+        cur[lane] = t->link_at(lk);
+        __builtin_prefetch(cur[lane], 0, 3);
+        active[keep++] = static_cast<std::uint16_t>(lane);
+      } else {
+        rp.status = Status::kNotFound;
+        rp.value = 0;
+      }
+    }
+  }
+
+  /// Per-engine group sweeps over active lanes [0, na): gather 8 acquire
+  /// header loads + the 8 fingerprints packed into one register word, run
+  /// the matching x8 kernel, consume. Each sweep carries the same target
+  /// ISA as its kernel so the kernel inlines here — the gathered headers
+  /// feed the vector compare without an out-of-line call frame in between.
+  /// On the first sweep of a chunk (`identity`, active[j] == j) the lane
+  /// indirection drops out and the fingerprint word is one contiguous
+  /// 8-byte load. Returns the lane index where the scalar tail resumes.
+  /// Gather one group's 8 headers (acquire) + fingerprints. The unrolled
+  /// scalar loads keep each header in its own SSA value so the sweeps can
+  /// hand them to the vector kernels as registers (see the probe.hpp note
+  /// on the array form's store-forwarding hazard); the hd[] copy feeds the
+  /// per-lane seqlock re-checks in consume_group, where same-width 8B
+  /// store/load pairs forward cleanly.
+  __attribute__((always_inline)) inline std::uint64_t gather_group(
+      const std::uint8_t* fp, const Bucket** cur, const std::uint16_t* active,
+      std::size_t s, bool identity, std::uint64_t* hd) const {
+    std::uint64_t fps;
+    if (identity) {
+      std::memcpy(&fps, fp + s, 8);  // lane j's fp lands in byte j (LE)
+      hd[0] = S::load_acquire(&cur[s + 0]->header);
+      hd[1] = S::load_acquire(&cur[s + 1]->header);
+      hd[2] = S::load_acquire(&cur[s + 2]->header);
+      hd[3] = S::load_acquire(&cur[s + 3]->header);
+      hd[4] = S::load_acquire(&cur[s + 4]->header);
+      hd[5] = S::load_acquire(&cur[s + 5]->header);
+      hd[6] = S::load_acquire(&cur[s + 6]->header);
+      hd[7] = S::load_acquire(&cur[s + 7]->header);
+    } else {
+      fps = 0;
+      for (int j = 0; j < 8; ++j) {
+        const std::size_t lane = active[s + j];
+        hd[j] = S::load_acquire(&cur[lane]->header);
+        fps |= static_cast<std::uint64_t>(fp[lane]) << (8 * j);
+      }
+    }
+    return fps;
+  }
+
+  __attribute__((target("avx2"))) std::size_t sweep_groups_avx2(
+      const TableInstance* t, const std::uint64_t* keys,
+      const std::uint8_t* fp, const Bucket** cur, std::uint16_t* active,
+      std::size_t na, Reply* out, std::size_t& keep, bool identity) const {
+    std::size_t s = 0;
+    std::uint64_t hd[8];
+    for (; s + 8 <= na; s += 8) {
+      const std::uint64_t fps = gather_group(fp, cur, active, s, identity, hd);
+      // Matching only needs each header's low dword, so all 8 lanes fit one
+      // ymm; the dword packing is plain integer ALU work the vector ports
+      // never see.
+      const __m256i hlo = _mm256_set_epi64x(
+          static_cast<long long>(probe::pack_lo_pair(hd[6], hd[7])),
+          static_cast<long long>(probe::pack_lo_pair(hd[4], hd[5])),
+          static_cast<long long>(probe::pack_lo_pair(hd[2], hd[3])),
+          static_cast<long long>(probe::pack_lo_pair(hd[0], hd[1])));
+      consume_group<4>(t, keys, fp, cur, active, s, out, hd,
+                       probe::match_valid_x8v_avx2(hlo, fps), keep, identity);
+    }
+    return s;
+  }
+
+  __attribute__((target("avx512f,avx512bw"))) std::size_t sweep_groups_avx512(
+      const TableInstance* t, const std::uint64_t* keys,
+      const std::uint8_t* fp, const Bucket** cur, std::uint16_t* active,
+      std::size_t na, Reply* out, std::size_t& keep, bool identity) const {
+    std::size_t s = 0;
+    std::uint64_t hd[8];
+    for (; s + 8 <= na; s += 8) {
+      const std::uint64_t fps = gather_group(fp, cur, active, s, identity, hd);
+      const __m512i h = _mm512_set_epi64(static_cast<long long>(hd[7]),
+                                         static_cast<long long>(hd[6]),
+                                         static_cast<long long>(hd[5]),
+                                         static_cast<long long>(hd[4]),
+                                         static_cast<long long>(hd[3]),
+                                         static_cast<long long>(hd[2]),
+                                         static_cast<long long>(hd[1]),
+                                         static_cast<long long>(hd[0]));
+      consume_group<8>(t, keys, fp, cur, active, s, out, hd,
+                       probe::match_valid_x8v_avx512(h, fps), keep, identity);
+    }
+    return s;
+  }
+#endif  // DLHT_PROBE_X86_SIMD
+
+  /// The software-pipelined core of a batched-Get chunk (m <= kGetChunk)
+  /// against instance `t` — shared by get_batch and execute_batch's
+  /// consecutive-Get runs. Fills out[j].status/value only. Safe even if a
+  /// migration starts mid-chunk (redirected lanes resolve via get_on);
+  /// callers just shouldn't enter here when one is already known-active.
+  ///
+  /// Stage 1 hashes and prefetches every home bucket; stage 2 sweeps the
+  /// still-active lanes, one bucket per lane per sweep, so link-chain
+  /// misses overlap too. With a SIMD engine dispatched, each sweep matches
+  /// fingerprints across 8 prefetched headers at once (probe.hpp kernels:
+  /// broadcast + cmpeq_epi8 + movemask into per-key candidate bitsets) and
+  /// the seqlock re-check of all 8 lanes shares one acquire fence; locked,
+  /// migrated, or torn lanes fall back to the scalar walk. Chained lanes
+  /// re-enter the next sweep, which vectorizes link-chain scans as well.
+  void probe_chunk(const TableInstance* t, const std::uint64_t* keys,
+                   Reply* out, std::size_t m) const {
+    const Bucket* cur[kGetChunk];
+    std::uint8_t fp[kGetChunk];
+    // Lanes that survive a sweep are compacted into active[]; the first
+    // sweep is the identity mapping, so no initialization is needed here.
+    std::uint16_t active[kGetChunk];
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t h = hash_(keys[j]);
+      cur[j] = &t->main_[h & t->mask_];
+      fp[j] = fp_of(h);
+      __builtin_prefetch(cur[j], 0, 3);
+    }
+    std::size_t na = m;
+    // The first sweep visits every lane in order (active[j] == j), so both
+    // the SIMD sweeps and the scalar tail skip the active[] indirection
+    // until the first link-chain compaction.
+    bool identity = true;
+    while (na > 0) {
+      std::size_t keep = 0;
+      std::size_t s = 0;
+#if DLHT_PROBE_X86_SIMD
+      if (probe_ == ProbeStrategy::kAvx2) {
+        s = sweep_groups_avx2(t, keys, fp, cur, active, na, out, keep,
+                              identity);
+      } else if (probe_ == ProbeStrategy::kAvx512) {
+        s = sweep_groups_avx512(t, keys, fp, cur, active, na, out, keep,
+                                identity);
+      }
+#endif
+      for (; s < na; ++s) {
+        const std::size_t j = identity ? s : active[s];
+        Reply& rp = out[j];
+        const std::uint64_t k = keys[j];
+        const Bucket* next = probe_bucket(t, cur[j], fp[j], k, rp);
+        if (next == &kRedirectBucket) {
+          // A resize started mid-pipeline: resolve this key scalar-style.
+          get_on(t, hash_(k), k, rp);
+          continue;
+        }
+        if (next != nullptr) {
+          cur[j] = next;
+          __builtin_prefetch(next, 0, 3);
+          active[keep++] = static_cast<std::uint16_t>(j);
+        }
+      }
+      na = keep;
+      identity = false;
+    }
+  }
+
   // ------------------------------------------------------------ mutations
 
   /// Try the insert/upsert on instance `t`. Returns false (retry at the
@@ -788,20 +1061,24 @@ class DLHT {
     int empty_i = -1;
     std::uint64_t empty_bh = 0;
     for (;;) {
-      for (int i = 0; i < kSlotsPerBucket; ++i) {
-        const SlotState st = hdr::slot_state(bh, i);
-        if (st == SlotState::kEmpty) {
-          if (empty_b == nullptr) {
-            empty_b = b;
-            empty_i = i;
-            empty_bh = bh;
-          }
-          continue;
+      // Duplicate check over occupied slots (valid or shadow-reserved),
+      // fingerprint-filtered through the probe layer; remember the first
+      // free slot of the chain for the insert.
+      const std::uint32_t occ = probe::occupied_slots(bh);
+      if (empty_b == nullptr) {
+        const std::uint32_t e = ~occ & 7u;
+        if (e != 0) {
+          empty_b = b;
+          empty_i = __builtin_ctz(e);
+          empty_bh = bh;
         }
-        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
-            b->slots[i].key != key) {
-          continue;
-        }
+      }
+      std::uint32_t cand = opts_.ablation.fingerprints
+                               ? (probe::fp_matches(bh, fp) & occ)
+                               : occ;
+      for (; cand != 0; cand &= cand - 1) {
+        const int i = __builtin_ctz(cand);
+        if (b->slots[i].key != key) continue;
         // Key already present (valid or shadow-reserved).
         if (!upsert) {
           unlock_bucket(home, hh);
@@ -874,13 +1151,13 @@ class DLHT {
     Bucket* b = home;
     std::uint64_t bh = hh;
     for (;;) {
-      for (int i = 0; i < kSlotsPerBucket; ++i) {
-        const SlotState st = hdr::slot_state(bh, i);
-        if (st == SlotState::kEmpty) continue;
-        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
-            b->slots[i].key != key) {
-          continue;
-        }
+      std::uint32_t cand = opts_.ablation.fingerprints
+                               ? (probe::fp_matches(bh, fp) &
+                                  probe::occupied_slots(bh))
+                               : probe::occupied_slots(bh);
+      for (; cand != 0; cand &= cand - 1) {
+        const int i = __builtin_ctz(cand);
+        if (b->slots[i].key != key) continue;
         const std::uint64_t old = b->slots[i].value;
         const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kEmpty);
         if (b == home) {
@@ -917,12 +1194,12 @@ class DLHT {
     Bucket* b = home;
     std::uint64_t bh = hh;
     for (;;) {
-      for (int i = 0; i < kSlotsPerBucket; ++i) {
-        if (hdr::slot_state(bh, i) != SlotState::kValid) continue;
-        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
-            b->slots[i].key != key) {
-          continue;
-        }
+      std::uint32_t cand = opts_.ablation.fingerprints
+                               ? probe::match_valid(bh, fp)
+                               : probe::valid_slots(bh);
+      for (; cand != 0; cand &= cand - 1) {
+        const int i = __builtin_ctz(cand);
+        if (b->slots[i].key != key) continue;
         const std::uint64_t nv = f(b->slots[i].value);
         S::store_relaxed(&b->slots[i].value, nv);
         if (b == home) {
@@ -956,12 +1233,13 @@ class DLHT {
     Bucket* b = home;
     std::uint64_t bh = hh;
     for (;;) {
-      for (int i = 0; i < kSlotsPerBucket; ++i) {
-        if (hdr::slot_state(bh, i) != SlotState::kShadow) continue;
-        if ((opts_.ablation.fingerprints && hdr::fingerprint(bh, i) != fp) ||
-            b->slots[i].key != key) {
-          continue;
-        }
+      std::uint32_t cand = opts_.ablation.fingerprints
+                               ? (probe::fp_matches(bh, fp) &
+                                  probe::shadow_slots(bh))
+                               : probe::shadow_slots(bh);
+      for (; cand != 0; cand &= cand - 1) {
+        const int i = __builtin_ctz(cand);
+        if (b->slots[i].key != key) continue;
         const std::uint64_t nh = hdr::with_slot_state(bh, i, SlotState::kValid);
         if (b == home) {
           unlock_bucket(home, nh);
@@ -1265,6 +1543,9 @@ class DLHT {
   static inline const Bucket kRedirectBucket{};
 
   Options opts_;
+  /// Resolved at construction (resolved_probe); branch target of the
+  /// batched pipeline, never re-derived per probe.
+  ProbeStrategy probe_ = ProbeStrategy::kSwar;
   Hasher hash_{};
   mutable EpochManager epoch_;
   std::atomic<TableInstance*> cur_{nullptr};

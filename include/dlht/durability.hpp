@@ -73,8 +73,10 @@ namespace dlht {
 // ---------------------------------------------------------------- CRC32C
 //
 // Castagnoli CRC (the checksum every record and snapshot frame carries).
-// Hardware SSE4.2 path when the build targets it, table-driven fallback
-// otherwise — both produce the standard reflected CRC-32C.
+// Hardware SSE4.2 path dispatched at runtime (cpuid once, function-level
+// target attribute — the build no longer assumes -march=native), with a
+// table-driven fallback for hosts and ISAs without it. Both produce the
+// standard reflected CRC-32C.
 
 namespace detail_crc {
 
@@ -92,31 +94,44 @@ struct Table {
 };
 inline constexpr Table kTable{};
 
+#if DLHT_PROBE_X86_SIMD
+__attribute__((target("sse4.2"))) inline std::uint32_t crc_hw(
+    const unsigned char* p, std::size_t n, std::uint32_t c) {
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = static_cast<std::uint32_t>(_mm_crc32_u64(c, w));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  return c;
+}
+#endif
+
+inline std::uint32_t crc_table(const unsigned char* p, std::size_t n,
+                               std::uint32_t c) {
+  while (n > 0) {
+    c = kTable.v[(c ^ *p++) & 0xffu] ^ (c >> 8);
+    --n;
+  }
+  return c;
+}
+
 }  // namespace detail_crc
 
 inline std::uint32_t crc32c(const void* data, std::size_t n,
                             std::uint32_t seed = 0) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = ~seed;
-#if defined(__SSE4_2__)
-  while (n >= 8) {
-    std::uint64_t w;
-    std::memcpy(&w, p, 8);
-    c = static_cast<std::uint32_t>(__builtin_ia32_crc32di(c, w));
-    p += 8;
-    n -= 8;
-  }
-  while (n > 0) {
-    c = __builtin_ia32_crc32qi(c, *p++);
-    --n;
-  }
-#else
-  while (n > 0) {
-    c = detail_crc::kTable.v[(c ^ *p++) & 0xffu] ^ (c >> 8);
-    --n;
-  }
+  const std::uint32_t c = ~seed;
+#if DLHT_PROBE_X86_SIMD
+  static const bool hw = __builtin_cpu_supports("sse4.2") != 0;
+  if (hw) return ~detail_crc::crc_hw(p, n, c);
 #endif
-  return ~c;
+  return ~detail_crc::crc_table(p, n, c);
 }
 
 // ------------------------------------------------------- fault injection

@@ -98,6 +98,31 @@ auto make_get_batch_worker(M& m, std::uint64_t keys, std::size_t batch,
   };
 }
 
+/// Replay variant of the batched-Get worker: the whole key stream is drawn
+/// once at setup and batches replay it from a power-of-two ring. Per batch
+/// the driver does one pointer bump — no per-key generator work — so the
+/// measurement isolates the table's probe pipeline. Same seed => the exact
+/// same access sequence, which is what makes per-engine comparisons
+/// (micro_ops' probe sweep) apples-to-apples.
+template <class M>
+auto make_get_batch_replay_worker(M& m, std::uint64_t keys, std::size_t batch,
+                                  std::uint64_t seed) {
+  constexpr std::size_t kStream = std::size_t{1} << 16;  // keys, pow-2 ring
+  return [&m, keys, batch, seed](int tid) {
+    std::vector<std::uint64_t> stream(kStream + batch);
+    UniformGenerator gen(keys, splitmix64(seed + 0x100u + tid));
+    for (auto& k : stream) k = gen.next() + 1;
+    return [&m, batch, stream = std::move(stream), pos = std::size_t{0},
+            out = std::vector<typename M::Reply>(batch)]()
+               mutable -> std::size_t {
+      m.get_batch(stream.data() + pos, out.data(), batch);
+      sink(out.data());
+      pos = (pos + batch) & (kStream - 1);
+      return batch;
+    };
+  };
+}
+
 /// InsDel: each thread cycles insert->delete over a private key window above
 /// the prepopulated range, so the table size stays steady and every op is a
 /// real slot allocation/free (the mix that collapses tombstone designs).

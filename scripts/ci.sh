@@ -29,6 +29,14 @@ run_docs() {
     fi
   done
   if [ "$missing" -ne 0 ]; then exit 1; fi
+  # The probe-engine knobs must stay documented: every bench honors them,
+  # and a trajectory number without its engine tag is uninterpretable.
+  for knob in DLHT_PROBE nosimd; do
+    if ! grep -q "$knob" docs/REPRODUCING.md; then
+      echo "FAIL: probe knob '$knob' is not documented in docs/REPRODUCING.md" >&2
+      exit 1
+    fi
+  done
   echo "docs coverage ok"
 }
 
@@ -83,14 +91,18 @@ run_main() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target dlht_test resize_churn_test \
-    shrink_churn_test epoch_test rng_test apps_test recovery_test \
-    kill_recover_writer
+    shrink_churn_test epoch_test rng_test apps_test probe_equivalence_test \
+    recovery_test kill_recover_writer
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
   ./build-asan/shrink_churn_test
   ./build-asan/epoch_test
   ./build-asan/rng_test
   ./build-asan/apps_test
+  # SIMD/SWAR/full-key probe engines must agree under the memory checker
+  # too — the AVX kernels read whole 64-byte headers, so this run is the
+  # no-OOB proof for the vector loads.
+  ./build-asan/probe_equivalence_test
   # recovery_test fuzzes the WAL/snapshot decoders over random bytes and
   # truncations — this sanitized run is the no-UB proof the framing claims.
   ./build-asan/recovery_test
@@ -104,12 +116,16 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target dlht_test resize_churn_test \
-    shrink_churn_test epoch_test apps_test fig18_ycsb recovery_test \
-    kill_recover_writer
+    shrink_churn_test epoch_test apps_test probe_equivalence_test \
+    fig18_ycsb recovery_test kill_recover_writer
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
   ./build-tsan/shrink_churn_test
   ./build-tsan/epoch_test
+  # The mid-probe mutation family races a writer against every probe
+  # engine's batched readers — the seqlock re-check in the SIMD sweep is
+  # exactly what TSan must see as properly synchronized.
+  ./build-tsan/probe_equivalence_test
   # apps_test's Smallbank conservation run is the first workload doing
   # cross-instance RMW transactions; fig18 exercises the YCSB mixes (incl.
   # F's update() path) under the race detector at a tiny scale.

@@ -380,6 +380,35 @@ void test_allocator_map() {
   vm.quiesce();
 }
 
+/// Fingerprints must behave like 8 independent hash bits: probing absent
+/// keys against a 1M-key table should see ~occupancy/256 false candidates
+/// per probe. The old derivation reused the low hash byte that also picks
+/// the bin, which correlated fingerprints within a bucket; this pins the
+/// fixed (disjoint mixed bytes) derivation with an empirical bound of
+/// 2/256 candidates per absent-key probe.
+void test_fingerprint_false_positive_rate() {
+  std::puts("test_fingerprint_false_positive_rate");
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr std::uint64_t kKeys = 1u << 17;  // keep sanitizer runs in budget
+#else
+  constexpr std::uint64_t kKeys = 1u << 20;
+#endif
+  Options o;
+  o.initial_bins = kKeys;  // ~1 occupied slot/bucket: expect ~1/256 a probe
+  InlinedMap m(o);
+  for (std::uint64_t i = 1; i <= kKeys; ++i) CHECK(m.insert(i, i));
+
+  std::uint64_t candidates = 0;
+  for (std::uint64_t i = 1; i <= kKeys; ++i) {
+    candidates += m.debug_probe_candidates(kKeys + i);  // all absent
+  }
+  const double per_probe = static_cast<double>(candidates) /
+                           static_cast<double>(kKeys);
+  std::printf("  fp candidates per absent probe: %.5f (bound %.5f)\n",
+              per_probe, 2.0 / 256.0);
+  CHECK(per_probe < 2.0 / 256.0);
+}
+
 }  // namespace
 
 int main() {
@@ -390,6 +419,7 @@ int main() {
   test_variable_kv();
   test_concurrent_stress();
   test_allocator_map();
+  test_fingerprint_false_positive_rate();
   if (g_failures != 0) {
     std::fprintf(stderr, "%d check(s) FAILED\n", g_failures);
     return 1;
