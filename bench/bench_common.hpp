@@ -32,6 +32,7 @@
 #include <vector>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/topology.hpp"
@@ -338,6 +339,31 @@ inline void json_note_row(const std::string& series, double x, double value,
   json_update_signal_snapshot();
 }
 
+/// Resolve a --json / DLHT_BENCH_JSON spec to a concrete file path. A spec
+/// naming a directory (trailing '/' or an existing dir) gets a per-binary
+/// default filename, BENCH_<basename(argv0)>.json — so multi-binary runs
+/// (the KV server sweep starts a server and a client that both link this
+/// sink) can share one DLHT_BENCH_JSON=dir/ without clobbering each other,
+/// which a single shared literal path silently did.
+inline std::string resolve_json_path(const std::string& spec,
+                                     const char* argv0) {
+  if (spec.empty()) return spec;
+  bool is_dir = spec.back() == '/';
+  if (!is_dir) {
+    struct stat st{};
+    is_dir = ::stat(spec.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  }
+  if (!is_dir) return spec;
+  const char* base = argv0 != nullptr ? std::strrchr(argv0, '/') : nullptr;
+  base = base != nullptr ? base + 1 : (argv0 != nullptr ? argv0 : "bench");
+  std::string out = spec;
+  if (out.back() != '/') out.push_back('/');
+  out += "BENCH_";
+  out += base;
+  out += ".json";
+  return out;
+}
+
 inline std::vector<int> default_threads() {
   const int hw = static_cast<int>(hardware_threads());
   // Sweep up to 4x the hardware threads (oversubscription shows the
@@ -397,6 +423,8 @@ inline Args parse_args(int argc, char** argv) {
     }
   }
   if (!json_sink().path.empty()) {
+    json_sink().path =
+        resolve_json_path(json_sink().path, argc > 0 ? argv[0] : nullptr);
     std::string cfg = "keys=" + std::to_string(a.keys) +
                       " ms=" + std::to_string(a.ms) + " threads=";
     for (std::size_t i = 0; i < a.threads_list.size(); ++i) {

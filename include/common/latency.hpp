@@ -1,0 +1,99 @@
+// Closed-loop latency recording, shared by the bench driver and the KV
+// server front end (include/server/). Lives under common/ so a server
+// binary can record p50/p99 without pulling in the bench run loop.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dlht {
+
+/// Per-thread latency record: exact running sum plus a fixed-size uniform
+/// reservoir (Vitter's algorithm R) so a multi-second closed loop keeps its
+/// percentile estimate unbiased without unbounded memory. Cache-line
+/// aligned: add() writes counters on every timed op, and adjacent threads'
+/// records must not false-share into the latencies being measured.
+class alignas(128) LatencyReservoir {
+ public:
+  static constexpr std::size_t kCap = std::size_t{1} << 15;
+
+  explicit LatencyReservoir(std::uint64_t seed) : rng_(splitmix64(~seed)) {
+    samples_.reserve(kCap);
+  }
+
+  void add(std::uint64_t ns) {
+    total_ns_ += ns;
+    if (samples_.size() < kCap) {
+      samples_.push_back(ns);
+    } else {
+      const std::uint64_t j = rng_.next_below(calls_ + 1);
+      if (j < kCap) samples_[static_cast<std::size_t>(j)] = ns;
+    }
+    ++calls_;
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t total_ns() const { return total_ns_; }
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+/// Weighted percentile over several reservoirs. Each reservoir holds at
+/// most kCap samples regardless of how many calls it saw, so merging by
+/// concatenation would weight a slow, low-rate thread the same as a fast
+/// one and bias the percentiles upward; weight each sample by the calls it
+/// stands for instead. Returns {calls, total_ns, p(q1), p(q2)} so callers
+/// get avg + two percentiles in one sort.
+struct MergedLatency {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t q1_ns = 0;
+  std::uint64_t q2_ns = 0;
+
+  double avg_ns() const {
+    return calls != 0 ? static_cast<double>(total_ns) /
+                            static_cast<double>(calls)
+                      : 0.0;
+  }
+};
+
+template <class Range>
+MergedLatency merge_latency(const Range& reservoirs, double q1 = 0.50,
+                            double q2 = 0.99) {
+  MergedLatency m;
+  std::vector<std::pair<std::uint64_t, double>> merged;  // (ns, weight)
+  for (const LatencyReservoir& rec : reservoirs) {
+    m.calls += rec.calls();
+    m.total_ns += rec.total_ns();
+    if (rec.samples().empty()) continue;
+    const double w = static_cast<double>(rec.calls()) /
+                     static_cast<double>(rec.samples().size());
+    for (const std::uint64_t ns : rec.samples()) merged.push_back({ns, w});
+  }
+  if (merged.empty()) return m;
+  std::sort(merged.begin(), merged.end());
+  const auto weighted_pct = [&merged, &m](double q) {
+    const double target = q * static_cast<double>(m.calls);
+    double acc = 0;
+    for (const auto& [ns, w] : merged) {
+      acc += w;
+      if (acc >= target) return ns;
+    }
+    return merged.back().first;
+  };
+  m.q1_ns = weighted_pct(q1);
+  m.q2_ns = weighted_pct(q2);
+  return m;
+}
+
+}  // namespace dlht

@@ -16,10 +16,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/latency.hpp"
 #include "common/rng.hpp"
 #include "common/topology.hpp"
 
 namespace dlht::workload {
+
+/// The reservoir now lives in common/latency.hpp (the KV server records
+/// server-side latencies without linking the bench driver); this alias
+/// keeps every existing bench compiling against workload::LatencyReservoir.
+using ::dlht::LatencyReservoir;
 
 struct RunSpec {
   int threads = 1;
@@ -41,41 +47,6 @@ struct RunResult {
   double avg_latency_ns = 0;
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
-};
-
-/// Per-thread latency record: exact running sum plus a fixed-size uniform
-/// reservoir (Vitter's algorithm R) so a multi-second closed loop keeps its
-/// percentile estimate unbiased without unbounded memory. Cache-line
-/// aligned: add() writes counters on every timed op, and adjacent threads'
-/// records must not false-share into the latencies being measured.
-class alignas(128) LatencyReservoir {
- public:
-  static constexpr std::size_t kCap = std::size_t{1} << 15;
-
-  explicit LatencyReservoir(std::uint64_t seed) : rng_(splitmix64(~seed)) {
-    samples_.reserve(kCap);
-  }
-
-  void add(std::uint64_t ns) {
-    total_ns_ += ns;
-    if (samples_.size() < kCap) {
-      samples_.push_back(ns);
-    } else {
-      const std::uint64_t j = rng_.next_below(calls_ + 1);
-      if (j < kCap) samples_[static_cast<std::size_t>(j)] = ns;
-    }
-    ++calls_;
-  }
-
-  std::uint64_t calls() const { return calls_; }
-  std::uint64_t total_ns() const { return total_ns_; }
-  const std::vector<std::uint64_t>& samples() const { return samples_; }
-
- private:
-  Xoshiro256 rng_;
-  std::vector<std::uint64_t> samples_;
-  std::uint64_t calls_ = 0;
-  std::uint64_t total_ns_ = 0;
 };
 
 template <class WorkerFactory>
@@ -133,38 +104,10 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
         static_cast<double>(r.total_ops) / r.elapsed_sec / 1e6;
   }
   if (spec.measure_latency) {
-    std::uint64_t calls = 0, total_ns = 0;
-    // Each reservoir holds at most kCap samples regardless of how many
-    // calls it saw, so merging by concatenation would weight a slow,
-    // low-rate thread the same as a fast one and bias the percentiles
-    // upward. Weight each sample by the calls it stands for instead.
-    std::vector<std::pair<std::uint64_t, double>> merged;  // (ns, weight)
-    for (const LatencyReservoir& rec : lat) {
-      calls += rec.calls();
-      total_ns += rec.total_ns();
-      if (rec.samples().empty()) continue;
-      const double w = static_cast<double>(rec.calls()) /
-                       static_cast<double>(rec.samples().size());
-      for (const std::uint64_t ns : rec.samples()) merged.push_back({ns, w});
-    }
-    if (calls != 0) {
-      r.avg_latency_ns =
-          static_cast<double>(total_ns) / static_cast<double>(calls);
-    }
-    if (!merged.empty()) {
-      std::sort(merged.begin(), merged.end());
-      const auto weighted_pct = [&merged, calls](double q) {
-        const double target = q * static_cast<double>(calls);
-        double acc = 0;
-        for (const auto& [ns, w] : merged) {
-          acc += w;
-          if (acc >= target) return ns;
-        }
-        return merged.back().first;
-      };
-      r.p50_ns = weighted_pct(0.50);
-      r.p99_ns = weighted_pct(0.99);
-    }
+    const MergedLatency m = merge_latency(lat);
+    r.avg_latency_ns = m.avg_ns();
+    r.p50_ns = m.q1_ns;
+    r.p99_ns = m.q2_ns;
   }
   return r;
 }

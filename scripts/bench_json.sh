@@ -57,5 +57,30 @@ run fig18 fig18_ycsb --keys 16384 --ms 25 --threads-list 1,2
 # Durable tier: WAL ingest, write amplification, checkpoint + recovery rates.
 run fig_recovery fig_recovery --keys 65536
 
+# KV server loopback: the network batching engine over a unix socket. Needs
+# a live server, so it can't use the run() helper — start one, drive the
+# pipelined client with --json, tear down, then validate like every other
+# point. bench_diff.py gates BENCH_kv_server.json once a baseline exists.
+echo "--- kv_server"
+kv_sock="$(mktemp -u /tmp/dlht_bench_kv.XXXXXX.sock)"
+kv_log="$(mktemp /tmp/dlht_bench_kv.XXXXXX.log)"
+"./$build/dlht_server" --listen "unix:$kv_sock" --keys 8192 --threads 2 \
+  --no-pin > "$kv_log" 2>&1 &
+kv_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "ready" "$kv_log" && break
+  sleep 0.1
+done
+kv_status=0
+"./$build/kv_client" --connect "unix:$kv_sock" --keys 8192 --ms 250 \
+  --threads-list 1,2 --batch 32 --json "$out/BENCH_kv_server.json" \
+  > /dev/null || kv_status=$?
+kill "$kv_pid" 2>/dev/null || true
+wait "$kv_pid" 2>/dev/null || true
+rm -f "$kv_sock" "$kv_log"
+[ "$kv_status" -eq 0 ]
+grep -q '"fig"' "$out/BENCH_kv_server.json"
+grep -q '"ops_per_sec"' "$out/BENCH_kv_server.json"
+
 echo "=== bench trajectory written ==="
 ls -l "$out"/BENCH_*.json

@@ -21,7 +21,7 @@ fi
 run_docs() {
   echo "=== docs: every figure/table binary documented in REPRODUCING.md ==="
   local missing=0
-  for t in $(grep -oE '^add_executable\((fig|tab|ablation|micro)[0-9a-z_]*' \
+  for t in $(grep -oE '^add_executable\((fig|tab|ablation|micro|dlht_server|kv_client)[0-9a-z_]*' \
                CMakeLists.txt | sed 's/^add_executable(//' | sort -u); do
     if ! grep -q "\`$t\`" docs/REPRODUCING.md; then
       echo "FAIL: bench target '$t' is not documented in docs/REPRODUCING.md" >&2
@@ -31,7 +31,9 @@ run_docs() {
   if [ "$missing" -ne 0 ]; then exit 1; fi
   # The probe-engine knobs must stay documented: every bench honors them,
   # and a trajectory number without its engine tag is uninterpretable.
-  for knob in DLHT_PROBE nosimd; do
+  # ...and the server knobs likewise: the loopback trajectory point is
+  # only interpretable if the batching/sharding knobs are documented.
+  for knob in DLHT_PROBE nosimd DLHT_SERVER_BATCH DLHT_SERVER_THREADS; do
     if ! grep -q "$knob" docs/REPRODUCING.md; then
       echo "FAIL: probe knob '$knob' is not documented in docs/REPRODUCING.md" >&2
       exit 1
@@ -92,7 +94,7 @@ run_main() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test rng_test apps_test probe_equivalence_test \
-    recovery_test kill_recover_writer
+    recovery_test kill_recover_writer protocol_test dlht_server kv_client
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
   ./build-asan/shrink_churn_test
@@ -107,6 +109,15 @@ run_main() {
   # truncations — this sanitized run is the no-UB proof the framing claims.
   ./build-asan/recovery_test
   KRW=./build-asan/kill_recover_writer bash tests/kill_recover_test.sh
+  # Wire-protocol decoder totality under ASan/UBSan: the random/bit-flip
+  # fuzz runs on exactly-sized heap buffers, so any overread is fatal here.
+  ./build-asan/protocol_test
+  # Full server<->client loopback under the memory checker. SKIP_RATIO:
+  # sanitized throughput is meaningless; the lost/dup audits and the
+  # networked kill-and-recover cycle are what this run proves.
+  SKIP_RATIO=1 KR_CYCLES=1 KV_KEYS=2048 KV_MS=120 \
+    SERVER=./build-asan/dlht_server CLIENT=./build-asan/kv_client \
+    KRW=./build-asan/kill_recover_writer bash tests/kv_loopback_test.sh
 }
 
 run_tsan() {
@@ -117,7 +128,8 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test apps_test probe_equivalence_test \
-    fig18_ycsb recovery_test kill_recover_writer
+    fig18_ycsb recovery_test kill_recover_writer protocol_test \
+    dlht_server kv_client
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
   ./build-tsan/shrink_churn_test
@@ -136,6 +148,13 @@ run_tsan() {
   # multi-writer SIGKILL churn (4 writers + group committer + snapshotter).
   ./build-tsan/recovery_test
   KRW=./build-tsan/kill_recover_writer bash tests/kill_recover_test.sh
+  ./build-tsan/protocol_test
+  # Server under the race detector: N epoll shards batching into one shared
+  # table, cross-thread conn handoff (eventfd inbox), checkpointer vs WAL
+  # writers in --durable mode — the loopback drives all of it.
+  SKIP_RATIO=1 KR_CYCLES=1 KV_KEYS=2048 KV_MS=120 \
+    SERVER=./build-tsan/dlht_server CLIENT=./build-tsan/kv_client \
+    KRW=./build-tsan/kill_recover_writer bash tests/kv_loopback_test.sh
 }
 
 case "$mode" in

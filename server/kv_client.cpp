@@ -1,0 +1,360 @@
+// kv_client — closed-loop load generator for dlht_server.
+//
+// Bench mode (default):
+//   kv_client --connect unix:/tmp/dlht.sock --keys 65536 --ms 300 \
+//             --threads-list 1,2 --batch 32 [--json out.json]
+//
+// Each client thread owns one pipelined connection (server/client.hpp
+// implements the table's own batch surface) and cycles the paper's mixed
+// workload — batched Get, PutHeavy, InsDel — through the standard
+// workload/ factories, so the network bench reuses byte-for-byte the mixes
+// the in-process figures run. run_for's closed-loop latency mode times
+// each batch round trip; rows go through the usual print_row/--json sink
+// as figure "kv_server" (BENCH_kv_server.json in the perf trajectory).
+//
+// After the sweep the client audits the table end-to-end: every
+// prepopulated key present, every InsDel scratch window empty, and the
+// server's count matching exactly — zero lost, zero duplicated/invented
+// keys across everything the network layer batched. Audit failure is the
+// process exit status.
+//
+// Kill-recover mode:
+//   kv_client --kr-run DIR --connect SPEC
+//
+// Speaks the kill_recover commit protocol over the wire against a
+// --durable server: 4 writer threads churn the same key scheme as
+// tests/kill_recover_writer.cpp (put committed key, put+erase scratch,
+// idempotent re-upsert), a committer snapshots per-thread applied
+// watermarks BEFORE a kSync barrier and persists DIR/progress
+// (tmp + fsync + rename) only when the sync acks. The harness SIGKILLs
+// the *server*; this client treats the dying connections as a normal end
+// of run and exits 0, leaving DIR for `kill_recover_writer --audit`.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "server/client.hpp"
+#include "workload/driver.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using dlht::OpType;
+using dlht::Status;
+using dlht::server::KvClient;
+
+// ----------------------------------------------------------- bench mode
+
+/// Bulk-load keys 1..keys (value = key, matching workload::populate) over
+/// one connection in pipelined chunks. False on any failed insert.
+bool populate_remote(KvClient& c, std::uint64_t keys) {
+  constexpr std::size_t kChunk = 256;
+  std::vector<KvClient::Request> reqs(kChunk);
+  std::vector<KvClient::Reply> reps(kChunk);
+  std::uint64_t k = 1;
+  while (k <= keys) {
+    std::size_t n = 0;
+    for (; n < kChunk && k <= keys; ++n, ++k) {
+      reqs[n] = {OpType::kInsert, k, k, 0};
+    }
+    c.execute_batch(reqs.data(), reps.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reps[i].status != Status::kOk && reps[i].status != Status::kExists) {
+        std::fprintf(stderr, "kv_client: populate failed at key %" PRIu64 "\n",
+                     reqs[i].key);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// End-to-end audit over a fresh connection (traffic quiescent): every
+/// prepopulated key present, every InsDel scratch window empty, server
+/// count exact. Returns the number of violations.
+std::uint64_t audit_remote(KvClient& c, std::uint64_t keys, int max_threads) {
+  std::uint64_t failures = 0;
+  constexpr std::size_t kChunk = 512;
+  std::vector<std::uint64_t> ks(kChunk);
+  std::vector<KvClient::Reply> reps(kChunk);
+  std::uint64_t lost = 0;
+  for (std::uint64_t k = 1; k <= keys;) {
+    std::size_t n = 0;
+    for (; n < kChunk && k <= keys; ++n, ++k) ks[n] = k;
+    c.get_batch(ks.data(), reps.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reps[i].status != Status::kOk) ++lost;
+    }
+  }
+  std::uint64_t leftover = 0;
+  for (int tid = 0; tid < max_threads; ++tid) {
+    const std::uint64_t base = keys + 1 +
+                               static_cast<std::uint64_t>(tid) *
+                                   dlht::workload::kInsDelWindow;
+    for (std::uint64_t w = 0; w < dlht::workload::kInsDelWindow;) {
+      std::size_t n = 0;
+      for (; n < kChunk && w < dlht::workload::kInsDelWindow; ++n, ++w) {
+        ks[n] = base + w;
+      }
+      c.get_batch(ks.data(), reps.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (reps[i].status == Status::kOk) ++leftover;
+      }
+    }
+  }
+  const std::int64_t count = c.count();
+  dlht::bench::check_shape("audit: zero lost prepopulated keys", lost == 0);
+  dlht::bench::check_shape("audit: InsDel scratch windows empty",
+                           leftover == 0);
+  dlht::bench::check_shape("audit: server count matches exactly (no dup/"
+                           "invented keys)",
+                           count == static_cast<std::int64_t>(keys));
+  if (lost != 0) {
+    std::fprintf(stderr, "kv_client: audit LOST %" PRIu64 " keys\n", lost);
+    failures += lost;
+  }
+  if (leftover != 0) {
+    std::fprintf(stderr, "kv_client: audit %" PRIu64 " scratch leftovers\n",
+                 leftover);
+    failures += leftover;
+  }
+  if (count != static_cast<std::int64_t>(keys)) {
+    std::fprintf(stderr,
+                 "kv_client: audit count=%lld expected=%" PRIu64
+                 " (dup/invented/lost)\n",
+                 static_cast<long long>(count), keys);
+    ++failures;
+  }
+  return failures;
+}
+
+int run_bench(const dlht::bench::Args& a, const std::string& connect,
+              std::size_t batch, std::uint64_t seed) {
+  using namespace dlht::bench;
+  using namespace dlht::workload;
+
+  {
+    KvClient boot;
+    if (!boot.connect(connect)) return 1;
+    if (!populate_remote(boot, a.keys)) return 1;
+    const std::int64_t n = boot.count();
+    if (n != static_cast<std::int64_t>(a.keys)) {
+      std::fprintf(stderr,
+                   "kv_client: populate count=%lld expected=%" PRIu64 "\n",
+                   static_cast<long long>(n), a.keys);
+      return 1;
+    }
+  }
+
+  print_header("kv_server",
+               "network KV node over DLHT: mixed Get/PutHeavy/InsDel, "
+               "pipelined batches, closed-loop RTT");
+  std::printf("# connect=%s client-batch=%zu\n", connect.c_str(), batch);
+
+  int max_threads = 1;
+  for (const int t : a.threads_list) {
+    if (t > max_threads) max_threads = t;
+  }
+
+  bool latency_sane = true;
+  for (const int t : a.threads_list) {
+    std::vector<std::unique_ptr<KvClient>> clients;
+    clients.reserve(static_cast<std::size_t>(t));
+    for (int i = 0; i < t; ++i) {
+      auto c = std::make_unique<KvClient>();
+      if (!c->connect(connect)) return 1;
+      clients.push_back(std::move(c));
+    }
+    RunSpec spec;
+    spec.threads = t;
+    spec.seconds = a.seconds();
+    spec.measure_latency = true;
+    const std::uint64_t keys = a.keys;
+    const bool with_insdel = batch >= 2;
+    const auto r = run_for(spec, [&](int tid) {
+      KvClient& c = *clients[static_cast<std::size_t>(tid)];
+      auto get = make_get_batch_worker(c, keys, batch, seed)(tid);
+      auto ph = make_putheavy_batch_worker(c, keys, batch, seed)(tid);
+      auto ins = make_insdel_batch_worker(c, keys, t, batch)(tid);
+      return [get = std::move(get), ph = std::move(ph),
+              ins = std::move(ins), with_insdel,
+              phase = 0]() mutable -> std::size_t {
+        const int p = phase++ % (with_insdel ? 3 : 2);
+        if (p == 0) return get();
+        if (p == 1) return ph();
+        return ins();
+      };
+    });
+    print_row("kv_server", "mixed/tput", t, r.mreqs_per_sec, "Mreq/s");
+    print_row("kv_server", "rtt/p50", t, static_cast<double>(r.p50_ns), "ns");
+    print_row("kv_server", "rtt/p99", t, static_cast<double>(r.p99_ns), "ns");
+    if (!(r.p50_ns > 0 && r.p99_ns >= r.p50_ns)) latency_sane = false;
+    // clients destruct here: connections close, the server quiesces.
+  }
+  check_shape("closed-loop p50/p99 finite and ordered", latency_sane);
+
+  KvClient auditor;
+  if (!auditor.connect(connect)) return 1;
+  const std::uint64_t failures = audit_remote(auditor, a.keys, max_threads);
+  return failures == 0 ? 0 : 1;
+}
+
+// ----------------------------------------------------- kill-recover mode
+//
+// Mirrors tests/kill_recover_writer.cpp so the existing offline auditor
+// (`kill_recover_writer --audit DIR`) validates the server's durable dir.
+
+constexpr unsigned kKrThreads = 4;
+constexpr std::uint64_t kScratchBit = 1ull << 62;
+
+std::uint64_t kr_key(unsigned t, std::uint64_t i) {
+  return (static_cast<std::uint64_t>(t + 1) << 48) | i;
+}
+std::uint64_t kr_val(std::uint64_t key) { return dlht::splitmix64(key) | 1u; }
+
+std::atomic<std::uint64_t> g_applied[kKrThreads];
+std::atomic<unsigned> g_live_writers{0};
+
+void kr_writer(const std::string& connect, unsigned t, std::uint64_t first) {
+  KvClient c;
+  if (!c.connect(connect)) {
+    g_live_writers.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  constexpr std::size_t kRun = 8;  // committed keys per pipelined batch
+  std::vector<KvClient::Request> reqs;
+  std::vector<KvClient::Reply> reps;
+  for (std::uint64_t i = first; i < (1ull << 40); i += kRun) {
+    reqs.clear();
+    for (std::uint64_t j = 0; j < kRun; ++j) {
+      const std::uint64_t k = kr_key(t, i + j);
+      const std::uint64_t sk = k | kScratchBit;
+      reqs.push_back({OpType::kPut, k, kr_val(k), 0});
+      reqs.push_back({OpType::kPut, sk, kr_val(sk), 0});
+      reqs.push_back({OpType::kDelete, sk, 0, 0});
+      if ((i + j) % 16 == 0 && i + j > 1) {
+        const std::uint64_t old = kr_key(t, (i + j) / 2);
+        reqs.push_back({OpType::kPut, old, kr_val(old), 0});
+      }
+    }
+    reps.resize(reqs.size());
+    c.execute_batch(reqs.data(), reps.data(), reqs.size());
+    bool died = false;
+    for (const auto& r : reps) {
+      if (r.status == Status::kIOError) died = true;
+    }
+    if (died || !c.ok()) break;  // server killed: normal end of run
+    // Whole batch acked => every record sits in a WAL buffer or on disk;
+    // safe to publish the watermark the committer may now sync past.
+    g_applied[t].store(i + kRun - 1, std::memory_order_release);
+  }
+  g_live_writers.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool kr_write_progress(const std::string& path,
+                       const std::uint64_t (&w)[kKrThreads]) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  char line[64];
+  for (unsigned t = 0; t < kKrThreads; ++t) {
+    const int n = std::snprintf(line, sizeof line, "%u %" PRIu64 "\n", t, w[t]);
+    if (::write(fd, line, static_cast<std::size_t>(n)) != n) {
+      ::close(fd);
+      return false;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+int run_kr(const std::string& dir, const std::string& connect) {
+  // Resume past the previous cycle's committed watermarks, exactly like
+  // the in-process writer: the next audit demands the union of cycles.
+  std::uint64_t start[kKrThreads] = {};
+  if (std::FILE* f = std::fopen((dir + "/progress").c_str(), "r")) {
+    unsigned t;
+    std::uint64_t w;
+    while (std::fscanf(f, "%u %" SCNu64, &t, &w) == 2) {
+      if (t < kKrThreads) start[t] = w;
+    }
+    std::fclose(f);
+  }
+  for (unsigned t = 0; t < kKrThreads; ++t) {
+    g_applied[t].store(start[t], std::memory_order_release);
+  }
+  g_live_writers.store(kKrThreads, std::memory_order_release);
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kKrThreads; ++t) {
+    writers.emplace_back(kr_writer, connect, t, start[t] + 1);
+  }
+  std::thread committer([&dir, &connect] {
+    KvClient c;
+    if (!c.connect(connect)) return;
+    const std::string path = dir + "/progress";
+    while (g_live_writers.load(std::memory_order_acquire) != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      // Snapshot BEFORE the sync barrier: a kOk sync makes durable every
+      // op acked before the snapshot, which is all the file will claim.
+      std::uint64_t w[kKrThreads];
+      for (unsigned t = 0; t < kKrThreads; ++t) {
+        w[t] = g_applied[t].load(std::memory_order_acquire);
+      }
+      if (c.sync() != Status::kOk) return;  // server gone (or not durable)
+      kr_write_progress(path, w);
+    }
+  });
+  // Safety cap mirroring the in-process harness: the driver SIGKILLs the
+  // server long before this; a missed kill must not hang CI.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (auto& t : writers) {
+    if (std::chrono::steady_clock::now() > deadline) std::_Exit(0);
+    t.join();
+  }
+  committer.join();
+  return 0;  // the server dying under us is the expected outcome
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect = "127.0.0.1:11311";
+  std::string kr_dir;
+  std::size_t batch = 32;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--batch") {
+      batch = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--kr-run") {
+      kr_dir = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    }
+  }
+  if (batch < 1) batch = 1;
+  if (!kr_dir.empty()) return run_kr(kr_dir, connect);
+  // parse_args handles --keys/--ms/--threads-list/--json (and ignores the
+  // client-only flags above).
+  const auto a = dlht::bench::parse_args(argc, argv);
+  return run_bench(a, connect, batch, seed);
+}

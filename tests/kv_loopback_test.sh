@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# End-to-end loopback test for the KV server front end.
+#
+#   SERVER=/path/to/dlht_server   (required)
+#   CLIENT=/path/to/kv_client     (required)
+#   KRW=/path/to/kill_recover_writer  (required for the durable section)
+#   SKIP_RATIO=1    skip the batched-vs-unbatched throughput assertion
+#                   (sanitizer builds: numbers are meaningless under ASan/
+#                   TSan, correctness audits still run in full)
+#   KR_CYCLES=N     kill-and-recover cycles against one durable dir (def 2)
+#   KV_KEYS / KV_MS / KV_THREADS   workload size knobs for the sweep
+#
+# Sections:
+#   1. Batched server (DLHT_SERVER_BATCH default) on a unix socket: mixed
+#      Get/PutHeavy/InsDel sweep, closed-loop p50/p99, then the client's
+#      zero-lost / zero-dup shutdown audit (client exit status).
+#   2. Same workload against --batch 1 (the unbatched baseline: one table
+#      call and one reply write per op); asserts batched >= 1.5x unbatched.
+#   3. memcached-text shim smoke over TCP (set/get/delete/quit via
+#      /dev/tcp), skipped if this bash lacks /dev/tcp.
+#   4. --durable mode: kv_client --kr-run churns the kill_recover commit
+#      protocol over the wire, the SERVER is SIGKILLed mid-churn, and the
+#      existing offline auditor (kill_recover_writer --audit) must find
+#      zero lost committed keys and zero duplicates — KR_CYCLES times
+#      against the same dir, so cycle N+1 audits the union of all cycles.
+set -u
+
+SERVER="${SERVER:?set SERVER to the dlht_server binary}"
+CLIENT="${CLIENT:?set CLIENT to the kv_client binary}"
+KRW="${KRW:?set KRW to the kill_recover_writer binary}"
+SKIP_RATIO="${SKIP_RATIO:-0}"
+KR_CYCLES="${KR_CYCLES:-2}"
+KEYS="${KV_KEYS:-8192}"
+MS="${KV_MS:-250}"
+THREADS="${KV_THREADS:-1,2}"
+
+workdir="$(mktemp -d /tmp/dlht_kv_loopback.XXXXXX)"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ]; then
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "kv_loopback FAIL: $1"
+  exit 1
+}
+
+# Start $SERVER with the given extra args, wait for its ready line.
+start_server() {
+  : > "$workdir/server.log"
+  "$SERVER" --listen "$1" --keys "$KEYS" --no-pin "${@:2}" \
+    > "$workdir/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "ready" "$workdir/server.log" && return 0
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  cat "$workdir/server.log"
+  fail "server did not become ready"
+}
+
+stop_server() {
+  kill "$server_pid" 2>/dev/null
+  wait "$server_pid" 2>/dev/null
+  server_pid=""
+}
+
+tput_of() {
+  # Max "mixed/tput" row value (col 4) from a client log.
+  awk '$2 == "mixed/tput" { if ($4 > v) v = $4 } END { print v + 0 }' "$1"
+}
+
+sock="unix:$workdir/kv.sock"
+
+# ---- 1. batched server: sweep + audit ---------------------------------
+start_server "$sock" --threads 2
+if ! "$CLIENT" --connect "$sock" --keys "$KEYS" --ms "$MS" \
+     --threads-list "$THREADS" --batch 32 > "$workdir/batched.log" 2>&1; then
+  cat "$workdir/batched.log"
+  fail "batched run / audit failed"
+fi
+stop_server
+grep -q "rtt/p50" "$workdir/batched.log" || fail "no p50 row emitted"
+grep -Eq "nan|inf" "$workdir/batched.log" && fail "non-finite latency"
+batched="$(tput_of "$workdir/batched.log")"
+
+# ---- 2. unbatched baseline + ratio ------------------------------------
+if [ "$SKIP_RATIO" != "1" ]; then
+  start_server "$sock" --threads 2 --batch 1
+  if ! "$CLIENT" --connect "$sock" --keys "$KEYS" --ms "$MS" \
+       --threads-list "$THREADS" --batch 32 \
+       > "$workdir/unbatched.log" 2>&1; then
+    cat "$workdir/unbatched.log"
+    fail "unbatched run / audit failed"
+  fi
+  stop_server
+  unbatched="$(tput_of "$workdir/unbatched.log")"
+  echo "kv_loopback: batched=$batched Mreq/s unbatched=$unbatched Mreq/s"
+  awk -v b="$batched" -v u="$unbatched" \
+      'BEGIN { exit !(u > 0 && b >= 1.5 * u) }' ||
+    fail "batched ($batched) < 1.5x unbatched ($unbatched)"
+fi
+
+# ---- 3. memcached-text shim smoke (TCP) -------------------------------
+port=$(( 20000 + ($$ % 10000) ))
+start_server "127.0.0.1:$port" --threads 1
+if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'set 5 0 0 3\r\nabc\r\nget 5\r\ndelete 5\r\nget 5\r\nquit\r\n' >&3
+  text="$(timeout 10 cat <&3 | tr -d '\0\r')"
+  exec 3<&- 3>&-
+  echo "$text" | grep -q "STORED" || fail "text shim: no STORED"
+  echo "$text" | grep -q "VALUE 5 0 8" || fail "text shim: no VALUE"
+  echo "$text" | grep -q "DELETED" || fail "text shim: no DELETED"
+  echo "$text" | grep -q "END" || fail "text shim: no END"
+else
+  echo "kv_loopback: /dev/tcp unavailable, text shim smoke skipped"
+fi
+stop_server
+
+# ---- 4. durable mode: kill-and-recover over the network ----------------
+waldir="$workdir/wal"
+mkdir -p "$waldir"
+for cycle in $(seq 1 "$KR_CYCLES"); do
+  start_server "$sock" --threads 2 --batch 16 \
+    --durable "$waldir" --checkpoint-ms 100
+  "$CLIENT" --kr-run "$waldir" --connect "$sock" > "$workdir/kr.log" 2>&1 &
+  client_pid=$!
+  sleep 0.8
+  kill -9 "$server_pid" 2>/dev/null
+  wait "$server_pid" 2>/dev/null
+  server_pid=""
+  rm -f "$workdir/kv.sock"
+  if ! wait "$client_pid"; then
+    cat "$workdir/kr.log"
+    fail "kr client did not survive server death (cycle $cycle)"
+  fi
+  if ! "$KRW" --audit "$waldir"; then
+    fail "durable audit failed (cycle $cycle)"
+  fi
+done
+
+echo "kv_loopback OK: keys=$KEYS threads=$THREADS ratio_skipped=$SKIP_RATIO kr_cycles=$KR_CYCLES"
