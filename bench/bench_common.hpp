@@ -18,6 +18,13 @@
 //                        never a silent fallback: mislabeled trajectory
 //                        numbers are worse than no numbers. The resolved
 //                        engine is recorded in the JSON config tag.
+//     --counters         open per-thread perf counters (cycles, LLC/dTLB/
+//                        node misses, task clock, faults) around every
+//                        timed region and attach a counters{...} object to
+//                        the matching trajectory row (also: DLHT_COUNTERS
+//                        env knob). Hosts that forbid perf_event_open get
+//                        zeroed values with "unavailable": true — the key
+//                        is always present so CI can grep for it.
 // The defaults are sized for a small VM; on a big box, raise --keys and
 // --ms toward the paper's configuration (100M keys, multi-second points).
 #pragma once
@@ -35,6 +42,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/perf_counters.hpp"
 #include "common/topology.hpp"
 #include "dlht/dlht.hpp"
 #include "workload/driver.hpp"
@@ -63,6 +71,9 @@ inline std::uint64_t now_ns() {
 ///                        here.
 ///   DLHT_PROBE           probe engine (auto|swar|avx2|avx512); see
 ///                        requested_probe() below.
+///   DLHT_NUMA            bucket/link-pool placement: first_touch
+///                        (default), interleave, node:<id>; see
+///                        apply_numa_env() below.
 /// Overlay the DLHT_GROWTH_FACTOR / DLHT_ABLATION env knobs onto `o`.
 /// dlht_options() applies this automatically; benches that build Options
 /// by hand (fig07/fig08's growth tables, tab01's occupancy study) call it
@@ -112,8 +123,43 @@ inline ProbeStrategy& requested_probe() {
   return s;
 }
 
+/// Parse a DLHT_NUMA placement spec onto `o`, refusing unknown specs with
+/// exit 2 (same contract as parse_probe_or_die: a run whose placement knob
+/// was silently ignored produces mislabeled numbers). Valid specs:
+/// first_touch | interleave | node:<id>. Whether the policy can actually
+/// bind on this host is the table's business — it degrades gracefully and
+/// counts stats().numa_fallback — but a *malformed* spec is operator error.
+inline void apply_numa_env(Options& o) {
+  const char* env = std::getenv("DLHT_NUMA");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "first_touch") == 0) {
+    o.numa_policy = NumaPolicy::kFirstTouch;
+  } else if (std::strcmp(env, "interleave") == 0) {
+    o.numa_policy = NumaPolicy::kInterleave;
+  } else if (std::strncmp(env, "node:", 5) == 0) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env + 5, &end, 10);
+    if (end == env + 5 || *end != '\0') {
+      std::fprintf(stderr,
+                   "bench: bad DLHT_NUMA node id in '%s'; expected "
+                   "node:<integer>\n",
+                   env);
+      std::exit(2);
+    }
+    o.numa_policy = NumaPolicy::kNodeLocal;
+    o.numa_node = static_cast<unsigned>(n);
+  } else {
+    std::fprintf(stderr,
+                 "bench: unknown DLHT_NUMA policy '%s'; expected "
+                 "first_touch|interleave|node:<id>\n",
+                 env);
+    std::exit(2);
+  }
+}
+
 inline Options apply_env_knobs(Options o) {
   o.probe_strategy = requested_probe();
+  apply_numa_env(o);
   if (const char* env = std::getenv("DLHT_GROWTH_FACTOR")) {
     char* end = nullptr;
     const auto f = std::strtoull(env, &end, 10);
@@ -175,9 +221,39 @@ struct Args {
   std::vector<int> threads_list;
   double ms = 300;
   double scale = 1.0;
+  bool counters = false;
 
   double seconds() const { return ms / 1000.0; }
 };
+
+/// True when --counters / DLHT_COUNTERS asked for per-region perf counters.
+/// Mutable so parse_args can set it from the flag.
+inline bool& counters_enabled() {
+  static bool b = std::getenv("DLHT_COUNTERS") != nullptr;
+  return b;
+}
+
+/// The counters stash: run_tput (and any bench timing its own region)
+/// deposits the merged totals here; the *next* json_note_row attaches them
+/// to its row object and clears the stash, so each trajectory row carries
+/// the counters of the region it reports.
+inline std::string& pending_counters_json() {
+  static std::string s;
+  return s;
+}
+
+inline void note_counters(const CounterTotals& t) {
+  if (!counters_enabled()) return;
+  pending_counters_json() = t.to_json();
+  std::string line = "# counters:";
+  for (unsigned i = 0; i < kNumCounters; ++i) {
+    line += ' ';
+    line += counter_name(i);
+    line += '=';
+    line += t.is_available(i) ? std::to_string(t.v[i]) : std::string("n/a");
+  }
+  std::printf("%s\n", line.c_str());
+}
 
 // ------------------------------------------------------------- JSON sink
 //
@@ -322,11 +398,18 @@ inline void json_note_row(const std::string& series, double x, double value,
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "%s{\"series\": \"%s\", \"x\": %g, \"value\": %g, "
-                "\"unit\": \"%s\"}",
+                "\"unit\": \"%s\"",
                 s.rows.empty() ? "" : ",\n          ",
                 json_escape(series).c_str(), x, value,
                 json_escape(unit).c_str());
   s.rows += buf;
+  std::string& pc = pending_counters_json();
+  if (!pc.empty()) {
+    s.rows += ", \"counters\": ";
+    s.rows += pc;
+    pc.clear();
+  }
+  s.rows += "}";
   const std::size_t ul = std::strlen(unit);
   if (unit[0] == 'M' && ul >= 2 && std::strcmp(unit + ul - 2, "/s") == 0) {
     const double ops = value * 1e6;
@@ -420,8 +503,12 @@ inline Args parse_args(int argc, char** argv) {
       if (!ts.empty()) a.threads_list = std::move(ts);  // never leave it empty
     } else if (arg == "--probe") {
       requested_probe() = parse_probe_or_die(next(), "--probe");
+    } else if (arg == "--counters") {
+      a.counters = true;
+      counters_enabled() = true;
     }
   }
+  a.counters = counters_enabled();  // env knob and flag agree either way
   if (!json_sink().path.empty()) {
     json_sink().path =
         resolve_json_path(json_sink().path, argc > 0 ? argv[0] : nullptr);

@@ -25,8 +25,10 @@ namespace dlht::bench {
 
 template <class WorkerFactory>
 double run_tput(int threads, double seconds, WorkerFactory&& wf) {
-  const auto r = workload::run_for({.threads = threads, .seconds = seconds},
-                                   std::forward<WorkerFactory>(wf));
+  workload::RunSpec spec{.threads = threads, .seconds = seconds};
+  spec.counters = counters_enabled();
+  const auto r = workload::run_for(spec, std::forward<WorkerFactory>(wf));
+  if (spec.counters) note_counters(r.counters);
   return r.mreqs_per_sec;
 }
 

@@ -301,16 +301,21 @@ void run_shape_check(const bench::Args& args) {
   InlinedMap m(bench::dlht_options(keys));
   workload::populate(m, keys);
 
-  const double scalar =
-      workload::run_for({.threads = threads, .seconds = secs},
-                        workload::make_get_worker(m, keys, 7))
-          .mreqs_per_sec;
-  const double batched =
-      workload::run_for({.threads = threads, .seconds = secs},
-                        workload::make_get_batch_worker(m, keys, kBatch, 7))
-          .mreqs_per_sec;
+  workload::RunSpec spec{.threads = threads, .seconds = secs};
+  spec.counters = bench::counters_enabled();
 
+  const auto scalar_r =
+      workload::run_for(spec, workload::make_get_worker(m, keys, 7));
+  const auto batched_r = workload::run_for(
+      spec, workload::make_get_batch_worker(m, keys, kBatch, 7));
+  const double scalar = scalar_r.mreqs_per_sec;
+  const double batched = batched_r.mreqs_per_sec;
+
+  // Counters ride on the row that follows them, so stash each region's
+  // totals immediately before its print_row.
+  if (spec.counters) bench::note_counters(scalar_r.counters);
   bench::print_row("micro_ops", "Get/scalar", threads, scalar, "Mreq/s");
+  if (spec.counters) bench::note_counters(batched_r.counters);
   bench::print_row("micro_ops", "Get/batch24", threads, batched, "Mreq/s");
   bench::check_shape("batched Get (batch=24) >= 1.5x scalar Get",
                      batched >= 1.5 * scalar);

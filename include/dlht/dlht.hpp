@@ -43,6 +43,7 @@
 #endif
 
 #include "alloc/pool_allocator.hpp"
+#include "common/topology.hpp"
 #include "dlht/bucket.hpp"
 #include "dlht/epoch.hpp"
 #include "dlht/hash.hpp"
@@ -102,6 +103,19 @@ struct Options {
   /// trickle of writes still becomes durable without filling the ops
   /// interval. 0 disables the committer thread (explicit wal_sync() only).
   std::uint32_t wal_group_commit_us = 500;
+
+  /// NUMA placement for the bucket array and link pools (every
+  /// TableInstance this table ever allocates, including resize shadows and
+  /// demand-grown link chunks). kFirstTouch is the kernel default — pages
+  /// land on the allocating thread's node. kInterleave round-robins pages
+  /// across all real nodes (the multi-socket serving configuration);
+  /// kNodeLocal binds to Options::numa_node (the paper's remote-socket /
+  /// CXL-style placement). Placement needs >= 2 real NUMA nodes and a
+  /// kernel that honors mbind; otherwise the allocation proceeds unplaced
+  /// and stats().numa_fallback counts it — never an error.
+  NumaPolicy numa_policy = NumaPolicy::kFirstTouch;
+  /// Target node for NumaPolicy::kNodeLocal.
+  unsigned numa_node = 0;
 
   /// Probe engine for the batched pipeline (dlht/probe.hpp): kAuto resolves
   /// to the widest engine this CPU supports at construction (cpuid, never
@@ -182,8 +196,11 @@ class DLHT {
   }
 
   explicit DLHT(const Options& o)
-      : opts_(o), probe_(resolved_probe(o)), epoch_(o.max_threads) {
-    cur_.store(new TableInstance(o.initial_bins, o.link_ratio),
+      : opts_(o),
+        probe_(resolved_probe(o)),
+        numa_binding_{o.numa_policy, o.numa_node, &numa_fallback_},
+        epoch_(o.max_threads) {
+    cur_.store(new TableInstance(o.initial_bins, o.link_ratio, &numa_binding_),
                std::memory_order_release);
   }
 
@@ -243,6 +260,10 @@ class DLHT {
     /// (the new, smaller generation starts a fresh pool, so there is no
     /// stale accounting carried across the migration).
     std::size_t links_reclaimed = 0;
+    /// Bucket/link allocations whose Options::numa_policy placement could
+    /// not be applied (single-node host, no mbind, bogus target node). 0
+    /// under kFirstTouch, which never needs the kernel's help.
+    std::uint64_t numa_fallback = 0;
   };
   Stats stats() const {
     EpochManager::Guard g(epoch_);  // the instance must outlive the reads
@@ -255,7 +276,8 @@ class DLHT {
     if (used > cap) used = cap;
     return Stats{t->mask_ + 1, used, cap,
                  bins_reclaimed_.load(std::memory_order_relaxed),
-                 links_reclaimed_.load(std::memory_order_relaxed)};
+                 links_reclaimed_.load(std::memory_order_relaxed),
+                 numa_fallback_.load(std::memory_order_relaxed)};
   }
 
   /// Force a resize now, regardless of load factor, and help migrate until
@@ -595,18 +617,39 @@ class DLHT {
   /// top bytes, disjoint from the bin-index bits).
   static std::uint8_t fp_of(std::uint64_t h) { return probe::fp_of(h); }
 
-  static Bucket* alloc_buckets(std::size_t count) {
+  /// NUMA placement request threaded from Options through every bucket
+  /// allocation this table makes. `fallback` counts placements that could
+  /// not be applied (single-node host, bogus node, kernel refusal) —
+  /// surfaced as stats().numa_fallback so callers can tell "placed" from
+  /// "silently local".
+  struct NumaBinding {
+    NumaPolicy policy = NumaPolicy::kFirstTouch;
+    unsigned node = 0;
+    std::atomic<std::uint64_t>* fallback = nullptr;
+  };
+
+  static Bucket* alloc_buckets(std::size_t count, const NumaBinding* nb) {
     const std::size_t bytes = count * sizeof(Bucket);
     // 2 MiB alignment lets the kernel back the array with transparent huge
     // pages; without them random probes also miss the dTLB, and x86 drops
     // prefetches that need a page walk — killing the batched pipeline.
     const std::size_t align =
         bytes >= (std::size_t{2} << 20) ? (std::size_t{2} << 20) : 64;
-    void* p = std::aligned_alloc(align, (bytes + align - 1) & ~(align - 1));
+    const std::size_t alloc_bytes = (bytes + align - 1) & ~(align - 1);
+    void* p = std::aligned_alloc(align, alloc_bytes);
     if (p == nullptr) throw std::bad_alloc();
 #if defined(__linux__) && defined(MADV_HUGEPAGE)
     if (align > 64) madvise(p, bytes, MADV_HUGEPAGE);
 #endif
+    // Placement policy must be set before the zeroing pass touches the
+    // pages: every page then faults in under the requested policy (mbind
+    // on an untouched anonymous region only records the policy).
+    if (nb != nullptr && nb->policy != NumaPolicy::kFirstTouch) {
+      if (!numa_bind_region(p, alloc_bytes, nb->policy, nb->node) &&
+          nb->fallback != nullptr) {
+        nb->fallback->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     std::memset(p, 0, bytes);
     return static_cast<Bucket*>(p);
   }
@@ -621,16 +664,18 @@ class DLHT {
     static constexpr std::size_t kGrowChunkBuckets = std::size_t{1} << 14;
     static constexpr std::size_t kMaxGrowChunks = 1024;
 
-    TableInstance(std::size_t bins_request, double link_ratio) {
+    TableInstance(std::size_t bins_request, double link_ratio,
+                  const NumaBinding* numa)
+        : numa_(numa) {
       const std::size_t bins =
           ceil_pow2(bins_request < 16 ? std::size_t{16} : bins_request);
       mask_ = bins - 1;
-      main_ = alloc_buckets(bins);
+      main_ = alloc_buckets(bins, numa_);
       double ratio = link_ratio < 0.0 ? 0.0 : link_ratio;
       chunk0_count_ =
           static_cast<std::size_t>(static_cast<double>(bins) * ratio);
       if (chunk0_count_ < 1024) chunk0_count_ = 1024;
-      chunk0_ = alloc_buckets(chunk0_count_);
+      chunk0_ = alloc_buckets(chunk0_count_, numa_);
       link_capacity_.store(chunk0_count_, std::memory_order_relaxed);
       for (auto& c : grow_chunks_) c.store(nullptr, std::memory_order_relaxed);
     }
@@ -696,11 +741,12 @@ class DLHT {
       if (link_bump_.load(std::memory_order_relaxed) < cap) return;
       const std::size_t n = (cap - chunk0_count_) / kGrowChunkBuckets;
       if (n >= kMaxGrowChunks) throw std::bad_alloc();
-      grow_chunks_[n].store(alloc_buckets(kGrowChunkBuckets),
+      grow_chunks_[n].store(alloc_buckets(kGrowChunkBuckets, numa_),
                             std::memory_order_release);
       link_capacity_.store(cap + kGrowChunkBuckets, std::memory_order_release);
     }
 
+    const NumaBinding* numa_ = nullptr;  // owned by the DLHT, outlives us
     Bucket* chunk0_ = nullptr;  // initial link pool, sized by link_ratio
     std::size_t chunk0_count_ = 0;
     std::atomic<Bucket*> grow_chunks_[kMaxGrowChunks];
@@ -1485,7 +1531,7 @@ class DLHT {
     }
     TableInstance* n;
     try {
-      n = new TableInstance(nb, opts_.link_ratio);
+      n = new TableInstance(nb, opts_.link_ratio, &numa_binding_);
     } catch (...) {
       resize_active_.store(false, std::memory_order_release);
       throw;
@@ -1547,6 +1593,11 @@ class DLHT {
   /// batched pipeline, never re-derived per probe.
   ProbeStrategy probe_ = ProbeStrategy::kSwar;
   Hasher hash_{};
+  /// Placements that could not be applied (see Options::numa_policy).
+  /// Declared before epoch_/numa_binding_ users: epoch_'s destructor can
+  /// still be retiring TableInstances that point at numa_binding_.
+  std::atomic<std::uint64_t> numa_fallback_{0};
+  NumaBinding numa_binding_{};
   mutable EpochManager epoch_;
   std::atomic<TableInstance*> cur_{nullptr};
   std::atomic<bool> resize_active_{false};

@@ -66,6 +66,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "common/topology.hpp"
 #include "dlht/dlht.hpp"
 
 namespace dlht {
@@ -539,7 +540,19 @@ class DurableDLHT {
     }
     opened_ = true;
     if (opts_.wal_group_commit_us > 0) {
-      committer_ = std::thread([this] { committer_loop(); });
+      committer_ = std::thread([this] {
+        // Park the group committer on the *last* plan slot so it shares a
+        // CPU with the highest-numbered worker rather than fighting worker
+        // 0 (every bench/server spawns workers from slot 0 upward). A bad
+        // DLHT_PIN spec is the frontend's problem to report; here we just
+        // fall back to an unpinned committer.
+        std::string err;
+        const PinPlan plan = pin_plan_from_env(&err);
+        if (err.empty() && plan.active()) {
+          plan.pin(plan.cpus.size() - 1);
+        }
+        committer_loop();
+      });
     }
     return Status::kOk;
   }

@@ -120,10 +120,18 @@ class KvServer {
       shards_.push_back(std::move(sh));
     }
     add_fd(shards_[0]->epfd, listen_fd_, EPOLLIN);
+    std::string pin_err;
+    const PinPlan plan = pin_plan_from_env(&pin_err);
+    if (opts_.pin && !pin_err.empty()) {
+      // A server that silently ignores an operator's placement spec is
+      // worse than one that refuses to start.
+      std::fprintf(stderr, "kv_server: %s\n", pin_err.c_str());
+      return false;
+    }
     for (int i = 0; i < opts_.shards; ++i) {
       Shard* sh = shards_[static_cast<std::size_t>(i)].get();
-      threads_.emplace_back([this, sh, i] {
-        if (opts_.pin) pin_thread(static_cast<unsigned>(i) % hardware_threads());
+      threads_.emplace_back([this, sh, i, plan] {
+        if (opts_.pin) plan.pin(static_cast<std::size_t>(i));
         shard_loop(*sh);
       });
     }

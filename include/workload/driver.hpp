@@ -12,11 +12,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/latency.hpp"
+#include "common/perf_counters.hpp"
 #include "common/rng.hpp"
 #include "common/topology.hpp"
 
@@ -35,6 +37,15 @@ struct RunSpec {
   /// fill RunResult's avg/p50/p99 fields. Benches that want per-op numbers
   /// should issue one request per invocation (or divide by the op count).
   bool measure_latency = false;
+  /// Open a per-thread perf_event group (cycles, LLC/dTLB/node misses, ...)
+  /// around each worker's timed loop and merge the totals into
+  /// RunResult::counters. Degrades to an all-unavailable CounterTotals
+  /// where perf_event_open is forbidden; never fails the run.
+  bool counters = false;
+  /// Thread placement override. nullptr = the process-wide default plan
+  /// (DLHT_PIN / compact over the scheduler's allowed CPUs). Ignored when
+  /// pin is false.
+  const PinPlan* plan = nullptr;
 };
 
 struct RunResult {
@@ -47,6 +58,10 @@ struct RunResult {
   double avg_latency_ns = 0;
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
+  /// Filled only when RunSpec::counters is set: per-thread perf counters
+  /// summed across workers (availability intersected). Check
+  /// counters.any_available() before trusting the values.
+  CounterTotals counters;
 };
 
 template <class WorkerFactory>
@@ -63,14 +78,27 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
       lat.emplace_back(static_cast<std::uint64_t>(tid));
     }
   }
+  std::vector<CounterTotals> perthread_counters(
+      spec.counters ? static_cast<std::size_t>(n) : 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int tid = 0; tid < n; ++tid) {
     threads.emplace_back([&, tid] {
-      if (spec.pin) pin_thread(static_cast<unsigned>(tid) % hardware_threads());
+      if (spec.pin) {
+        // Placement comes from the plan (cpuset-aware, policy-ordered),
+        // never from a raw tid % hardware_threads() — a cgroup-restricted
+        // runner must not pin onto a CPU it cannot run on.
+        (spec.plan != nullptr ? *spec.plan : default_pin_plan())
+            .pin(static_cast<std::size_t>(tid));
+      }
       auto body = make_worker(tid);
+      // Counters must be opened on the worker thread itself (the fds
+      // count the opening thread) and only around the timed region.
+      std::unique_ptr<PerfCounters> pc;
+      if (spec.counters) pc = std::make_unique<PerfCounters>();
       ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (pc) pc->start();
       std::uint64_t done = 0;
       if (spec.measure_latency) {
         LatencyReservoir& rec = lat[static_cast<std::size_t>(tid)];
@@ -84,6 +112,10 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
         }
       } else {
         while (!stop.load(std::memory_order_relaxed)) done += body();
+      }
+      if (pc) {
+        pc->stop();
+        perthread_counters[static_cast<std::size_t>(tid)] = pc->read();
       }
       ops[static_cast<std::size_t>(tid)] = done;
     });
@@ -109,6 +141,7 @@ RunResult run_for(const RunSpec& spec, WorkerFactory&& make_worker) {
     r.p50_ns = m.q1_ns;
     r.p99_ns = m.q2_ns;
   }
+  if (spec.counters) r.counters = merge_counters(perthread_counters);
   return r;
 }
 
@@ -125,7 +158,7 @@ double run_once(int threads, WorkerFactory&& make_worker, bool pin = true) {
   pool.reserve(static_cast<std::size_t>(n));
   for (int tid = 0; tid < n; ++tid) {
     pool.emplace_back([&, tid] {
-      if (pin) pin_thread(static_cast<unsigned>(tid) % hardware_threads());
+      if (pin) default_pin_plan().pin(static_cast<std::size_t>(tid));
       auto body = make_worker(tid);
       ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();

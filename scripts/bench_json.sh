@@ -41,7 +41,12 @@ run() {  # run <fig-label> <binary> [args...]
 }
 
 # Core op costs + the batching pipeline (the repo's headline mechanism).
-run micro_ops micro_ops --keys 65536 --ms 100
+# --counters attaches perf counters to the shape-check rows; on hosts where
+# perf_event_open is forbidden the object is zeroed with unavailable:true,
+# so the key is asserted either way.
+run micro_ops micro_ops --keys 65536 --ms 100 --counters
+grep -Eq '"counters"' "$out/BENCH_micro_ops.json"
+grep -Eq '"unavailable": (true|false)' "$out/BENCH_micro_ops.json"
 # Scalar/batched Get scaling across threads.
 DLHT_BENCH_THREADS=1,2 run fig03 fig03_get_scaling --keys 16384 --ms 20
 # Batch-size sweep: the software-pipelining win itself.

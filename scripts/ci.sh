@@ -33,7 +33,10 @@ run_docs() {
   # and a trajectory number without its engine tag is uninterpretable.
   # ...and the server knobs likewise: the loopback trajectory point is
   # only interpretable if the batching/sharding knobs are documented.
-  for knob in DLHT_PROBE nosimd DLHT_SERVER_BATCH DLHT_SERVER_THREADS; do
+  # ...and the memory-awareness knobs: pinning/placement/counters change
+  # what a trajectory number *means* on a NUMA box.
+  for knob in DLHT_PROBE nosimd DLHT_SERVER_BATCH DLHT_SERVER_THREADS \
+              DLHT_PIN DLHT_NUMA DLHT_SYSFS_ROOT DLHT_COUNTERS; do
     if ! grep -q "$knob" docs/REPRODUCING.md; then
       echo "FAIL: probe knob '$knob' is not documented in docs/REPRODUCING.md" >&2
       exit 1
@@ -94,13 +97,19 @@ run_main() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test rng_test apps_test probe_equivalence_test \
-    recovery_test kill_recover_writer protocol_test dlht_server kv_client
+    recovery_test kill_recover_writer protocol_test dlht_server kv_client \
+    topology_test perf_counters_test
   ./build-asan/dlht_test
   ./build-asan/resize_churn_test
   ./build-asan/shrink_churn_test
   ./build-asan/epoch_test
   ./build-asan/rng_test
   ./build-asan/apps_test
+  # Memory-awareness layer: the sysfs parser walks attacker-adjacent input
+  # (arbitrary file contents) and the counter reader does raw syscalls —
+  # both run sanitized.
+  ./build-asan/topology_test
+  ./build-asan/perf_counters_test
   # SIMD/SWAR/full-key probe engines must agree under the memory checker
   # too — the AVX kernels read whole 64-byte headers, so this run is the
   # no-OOB proof for the vector loads.
@@ -129,11 +138,14 @@ run_tsan() {
   cmake --build build-tsan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test apps_test probe_equivalence_test \
     fig18_ycsb recovery_test kill_recover_writer protocol_test \
-    dlht_server kv_client
+    dlht_server kv_client topology_test
   ./build-tsan/dlht_test
   ./build-tsan/resize_churn_test
   ./build-tsan/shrink_churn_test
   ./build-tsan/epoch_test
+  # Plan caches (default_pin_plan, allowed_cpus_cached) are function-local
+  # statics read from many worker threads — TSan proves the init is clean.
+  ./build-tsan/topology_test
   # The mid-probe mutation family races a writer against every probe
   # engine's batched readers — the seqlock re-check in the SIMD sweep is
   # exactly what TSan must see as properly synchronized.

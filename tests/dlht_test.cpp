@@ -160,6 +160,57 @@ void test_batch_matches_scalar() {
   }
 }
 
+// Every numa_policy value must construct, populate through a resize, and
+// keep scalar/batch equivalence — with placement either in force or
+// honestly counted in stats().numa_fallback. Single-node hosts (every CI
+// runner) exercise the fallback path; multi-node hosts the real one.
+void test_numa_policies() {
+  std::puts("test_numa_policies");
+  struct Case {
+    NumaPolicy policy;
+    unsigned node;
+    const char* name;
+  };
+  const Case cases[] = {
+      {NumaPolicy::kFirstTouch, 0, "first_touch"},
+      {NumaPolicy::kInterleave, 0, "interleave"},
+      {NumaPolicy::kNodeLocal, 0, "node_local(0)"},
+      {NumaPolicy::kNodeLocal, 999, "node_local(999)"},  // bogus target
+  };
+  const bool multi_node = real_node_count() >= 2;
+  for (const Case& c : cases) {
+    Options o = tiny_options();  // 256 bins: populating 20000 keys resizes
+    o.numa_policy = c.policy;
+    o.numa_node = c.node;
+    InlinedMap m(o);
+    constexpr std::uint64_t kN = 20000;
+    for (std::uint64_t k = 1; k <= kN; ++k) CHECK(m.insert(k, k * 7));
+    // Scalar/batch equivalence over the populated table.
+    constexpr std::size_t kBatch = 24;
+    std::vector<std::uint64_t> keys(kBatch);
+    std::vector<InlinedMap::Reply> out(kBatch);
+    for (std::uint64_t base = 1; base + kBatch <= kN; base += 997) {
+      for (std::size_t i = 0; i < kBatch; ++i) keys[i] = base + i;
+      m.get_batch(keys.data(), out.data(), kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        CHECK(out[i].status == Status::kOk);
+        CHECK(out[i].value == keys[i] * 7);
+        CHECK(m.get(keys[i]).value_or(0) == keys[i] * 7);
+      }
+    }
+    const std::uint64_t fb = m.stats().numa_fallback;
+    std::printf("  %-15s numa_fallback=%llu\n", c.name,
+                static_cast<unsigned long long>(fb));
+    if (c.policy == NumaPolicy::kFirstTouch) {
+      CHECK(fb == 0);  // the default policy never has anything to fall from
+    } else if (c.policy == NumaPolicy::kNodeLocal && c.node == 999) {
+      CHECK(fb > 0);  // a bogus node can never bind, on any host
+    } else if (!multi_node) {
+      CHECK(fb > 0);  // single-node host: bound policies must count honestly
+    }
+  }
+}
+
 // 4 threads hammer one table: each owns a disjoint key range and runs
 // insert/put/erase cycles while validating its own reads; a fifth pattern
 // (thread 0 also batch-reads everyone's ranges) checks cross-thread
@@ -415,6 +466,7 @@ int main() {
   test_put_get_delete();
   test_shadow_insert();
   test_batch_matches_scalar();
+  test_numa_policies();
   test_ablation_toggles();
   test_variable_kv();
   test_concurrent_stress();
