@@ -25,8 +25,28 @@
 //                        env knob). Hosts that forbid perf_event_open get
 //                        zeroed values with "unavailable": true — the key
 //                        is always present so CI can grep for it.
-// The defaults are sized for a small VM; on a big box, raise --keys and
-// --ms toward the paper's configuration (100M keys, multi-second points).
+//     --map a,b,...      restrict a comparison bench to the named designs
+//                        (also: DLHT_BENCH_MAPS env knob; the flag wins).
+//                        Names: dlht clht growt folly dramhit mica cuckoo
+//                        tbb leapfrog locked rh mm. Unknown names refuse
+//                        with exit 2 (same contract as --probe: a typo
+//                        silently dropping a series mislabels the
+//                        trajectory). Empty/unset = every design the
+//                        binary hosts. The selection lands in the JSON
+//                        config tag ("maps=..."), so filtered rows are
+//                        never diffed against full-field rows.
+// The defaults are sized for a small VM. DLHT_BENCH_SCALE picks a profile:
+//     smoke    ctest-sized (16K keys, 25 ms points)
+//     default  1M keys, 300 ms points (unset = this)
+//     paper    the paper's configuration: 100M keys, 2 s points (fig19:
+//              1M TATP subscribers / 10M Smallbank accounts). Before
+//              allocating, paper-profile benches probe available memory
+//              and refuse with a typed exit-2 message when the working
+//              set cannot fit — a refusal is diagnosable, an OOM kill is
+//              not. Explicit --keys/--ms (or DLHT_BENCH_KEYS/MS) override
+//              the profile's populations; the profile name still lands in
+//              the JSON config tag ("scale=..."), so bench_diff.py never
+//              compares paper rows against smoke rows.
 #pragma once
 
 #include <atomic>
@@ -201,6 +221,106 @@ inline std::string wal_dir_or(const char* fallback) {
   return fallback;
 }
 
+// --------------------------------------------------------- scale profiles
+//
+// DLHT_BENCH_SCALE picks the population/duration profile (see the header
+// comment). The profile only seeds Args defaults — explicit --keys/--ms
+// and the DLHT_BENCH_KEYS/MS env knobs still win — but its name is always
+// recorded in the JSON config tag, so trajectory points from different
+// profiles are never compared (bench_diff.py skips on config mismatch).
+
+enum class BenchScale { kSmoke, kDefault, kPaper };
+
+inline BenchScale parse_scale_or_die(const char* s, const char* origin) {
+  if (std::strcmp(s, "smoke") == 0) return BenchScale::kSmoke;
+  if (std::strcmp(s, "default") == 0) return BenchScale::kDefault;
+  if (std::strcmp(s, "paper") == 0) return BenchScale::kPaper;
+  std::fprintf(stderr,
+               "bench: unknown scale profile '%s' (from %s); expected "
+               "smoke|default|paper\n",
+               s, origin);
+  std::exit(2);
+}
+
+inline BenchScale bench_scale() {
+  static BenchScale s = [] {
+    const char* env = std::getenv("DLHT_BENCH_SCALE");
+    return env != nullptr ? parse_scale_or_die(env, "DLHT_BENCH_SCALE")
+                          : BenchScale::kDefault;
+  }();
+  return s;
+}
+
+inline const char* scale_name(BenchScale s) {
+  switch (s) {
+    case BenchScale::kSmoke: return "smoke";
+    case BenchScale::kPaper: return "paper";
+    default: return "default";
+  }
+}
+
+inline bool paper_scale() { return bench_scale() == BenchScale::kPaper; }
+
+/// Paper-profile OLTP populations (§5: 1M TATP subscribers, 10M Smallbank
+/// accounts). At other scales fig19 derives them from --keys.
+inline constexpr std::uint64_t kPaperKeys = 100'000'000;
+inline constexpr std::uint64_t kPaperSubscribers = 1'000'000;
+inline constexpr std::uint64_t kPaperAccounts = 10'000'000;
+
+/// Bytes of memory a bench may plan to touch right now. /proc/meminfo's
+/// MemAvailable is the kernel's own "allocatable without swapping"
+/// estimate; hosts without it fall back to free physical pages. The
+/// DLHT_MEM_AVAILABLE_MB override exists so the refusal path is testable
+/// deterministically on any machine (see scale_refuse_oom in CMakeLists).
+inline std::uint64_t available_memory_bytes() {
+  if (const char* env = std::getenv("DLHT_MEM_AVAILABLE_MB")) {
+    return std::strtoull(env, nullptr, 10) * (std::uint64_t{1} << 20);
+  }
+  if (std::FILE* f = std::fopen("/proc/meminfo", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      std::uint64_t kib = 0;
+      if (std::sscanf(line, "MemAvailable: %llu kB",
+                      reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+        std::fclose(f);
+        return kib * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+  const long pages = ::sysconf(_SC_AVPHYS_PAGES);
+  const long psize = ::sysconf(_SC_PAGESIZE);
+  if (pages > 0 && psize > 0) {
+    return static_cast<std::uint64_t>(pages) *
+           static_cast<std::uint64_t>(psize);
+  }
+  return 0;  // unknown: the guard will refuse rather than guess
+}
+
+/// RSS guardrail for the paper profile: refuse (typed message, exit 2)
+/// when the bench's estimated peak working set does not fit in available
+/// memory. A refusal names the shortfall and is greppable in CI logs; the
+/// alternative — the OOM killer SIGKILLing mid-populate — looks like an
+/// infrastructure flake and poisons the trajectory. No-op outside the
+/// paper profile: small-scale runs never allocated enough to need it.
+inline void require_memory_or_die(const char* fig,
+                                  std::uint64_t bytes_needed) {
+  if (!paper_scale()) return;
+  const std::uint64_t avail = available_memory_bytes();
+  // 10% headroom: the estimate covers the tables, not the allocator's
+  // slop, the key streams, or the rest of the process.
+  const std::uint64_t needed = bytes_needed + bytes_needed / 10;
+  if (avail >= needed) return;
+  std::fprintf(stderr,
+               "bench: DLHT_BENCH_SCALE=paper needs ~%llu MiB for %s but "
+               "only ~%llu MiB are available — refusing to run (exit 2) "
+               "instead of being OOM-killed. Use a bigger box, or override "
+               "--keys to shrink the population.\n",
+               static_cast<unsigned long long>(needed >> 20), fig,
+               static_cast<unsigned long long>(avail >> 20));
+  std::exit(2);
+}
+
 inline Options dlht_options(std::uint64_t keys, unsigned max_threads = 64) {
   Options o;
   o.initial_bins = static_cast<std::size_t>(keys * 2 / 3 + 64);
@@ -216,14 +336,57 @@ inline bool ablate_batching() {
   return env != nullptr && std::strstr(env, "nobatch") != nullptr;
 }
 
+/// Every design name --map / DLHT_BENCH_MAPS accepts. One list for every
+/// comparison bench: a name a binary does not host simply selects nothing
+/// there, but a *misspelled* name is refused everywhere (exit 2).
+inline constexpr const char* kMapNames[] = {
+    "dlht", "clht", "growt",    "folly",  "dramhit", "mica",
+    "cuckoo", "tbb", "leapfrog", "locked", "rh",      "mm",
+};
+
+inline std::vector<std::string> parse_map_list_or_die(const char* s,
+                                                      const char* origin) {
+  std::vector<std::string> out;
+  while (s != nullptr && *s != '\0') {
+    const char* comma = std::strchr(s, ',');
+    std::string name = comma != nullptr ? std::string(s, comma) : std::string(s);
+    if (!name.empty()) {
+      bool known = false;
+      for (const char* n : kMapNames) known = known || name == n;
+      if (!known) {
+        std::fprintf(stderr,
+                     "bench: unknown map '%s' (from %s); expected a comma "
+                     "list of: dlht clht growt folly dramhit mica cuckoo "
+                     "tbb leapfrog locked rh mm\n",
+                     name.c_str(), origin);
+        std::exit(2);
+      }
+      out.push_back(std::move(name));
+    }
+    if (comma == nullptr) break;
+    s = comma + 1;
+  }
+  return out;
+}
+
 struct Args {
   std::uint64_t keys = 1u << 20;
   std::vector<int> threads_list;
   double ms = 300;
   double scale = 1.0;
   bool counters = false;
+  std::vector<std::string> maps;  // empty = every design the bench hosts
 
   double seconds() const { return ms / 1000.0; }
+
+  /// Should this bench run the series block for design `name`?
+  bool map_enabled(const char* name) const {
+    if (maps.empty()) return true;
+    for (const std::string& m : maps) {
+      if (m == name) return true;
+    }
+    return false;
+  }
 };
 
 /// True when --counters / DLHT_COUNTERS asked for per-region perf counters.
@@ -471,11 +634,28 @@ inline std::vector<int> parse_thread_list(const char* s) {
 
 inline Args parse_args(int argc, char** argv) {
   Args a;
+  // Scale profile first: it only seeds the defaults, so the explicit
+  // knobs below (env, then flags) keep their precedence.
+  switch (bench_scale()) {
+    case BenchScale::kSmoke:
+      a.keys = 16384;
+      a.ms = 25;
+      break;
+    case BenchScale::kPaper:
+      a.keys = kPaperKeys;
+      a.ms = 2000;
+      break;
+    case BenchScale::kDefault:
+      break;
+  }
   if (const char* env = std::getenv("DLHT_BENCH_KEYS")) {
     a.keys = std::strtoull(env, nullptr, 10);
   }
   if (const char* env = std::getenv("DLHT_BENCH_MS")) {
     a.ms = std::strtod(env, nullptr);
+  }
+  if (const char* env = std::getenv("DLHT_BENCH_MAPS")) {
+    a.maps = parse_map_list_or_die(env, "DLHT_BENCH_MAPS");
   }
   a.threads_list = default_threads();
   if (const char* env = std::getenv("DLHT_BENCH_THREADS")) {
@@ -503,6 +683,8 @@ inline Args parse_args(int argc, char** argv) {
       if (!ts.empty()) a.threads_list = std::move(ts);  // never leave it empty
     } else if (arg == "--probe") {
       requested_probe() = parse_probe_or_die(next(), "--probe");
+    } else if (arg == "--map") {
+      a.maps = parse_map_list_or_die(next(), "--map");
     } else if (arg == "--counters") {
       a.counters = true;
       counters_enabled() = true;
@@ -524,6 +706,18 @@ inline Args parse_args(int argc, char** argv) {
     // silently compared against each other.
     cfg += " probe=";
     cfg += probe::name(DLHT::resolved_probe(apply_env_knobs(Options{})));
+    // ...and with the scale profile and any --map selection: paper-scale
+    // rows must never be diffed against smoke rows, and a filtered field
+    // changes what ops_per_sec (max over series) even means.
+    cfg += " scale=";
+    cfg += scale_name(bench_scale());
+    if (!a.maps.empty()) {
+      cfg += " maps=";
+      for (std::size_t i = 0; i < a.maps.size(); ++i) {
+        if (i != 0) cfg += ',';
+        cfg += a.maps[i];
+      }
+    }
     json_sink().config = std::move(cfg);
     std::atexit(flush_json);  // written however the bench exits normally
     // A killed run (CI cancellation, the kill-and-recover harness, ^C)

@@ -108,4 +108,48 @@ double putheavy_tput(M& m, std::uint64_t keys, int threads, double seconds,
 
 inline constexpr std::size_t kDefaultBatch = 24;
 
+/// Rough peak-RSS estimate (bytes) for the table a comparison bench builds
+/// for design `name` at population `keys`. The formulas mirror the
+/// constructor arguments the fig01/fig03 blocks actually pass (GrowT gets
+/// keys*8 cells, open addressing keys*4, Robin Hood keys*2, ...), so the
+/// paper profile's RSS guard can refuse *before* the first allocation.
+/// Deliberately conservative-but-rough: the guard adds headroom on top.
+inline std::uint64_t map_footprint_bytes(const std::string& name,
+                                         std::uint64_t keys) {
+  const auto p2 = [](std::uint64_t x) {
+    return static_cast<std::uint64_t>(
+        ceil_pow2(static_cast<std::size_t>(x)));
+  };
+  if (name == "dlht") {
+    const std::uint64_t bins = keys * 2 / 3 + 64;  // dlht_options geometry
+    return bins * 64 + bins / 8 * 64;
+  }
+  if (name == "clht") return p2(keys) * 64 + keys * 16;
+  if (name == "growt") return p2(keys * 8) * 16;
+  if (name == "folly" || name == "dramhit" || name == "leapfrog") {
+    return p2(keys * 4) * 16;
+  }
+  if (name == "mica") return p2(keys / 4 + 16) * 64 + keys * 32;
+  if (name == "cuckoo") return p2(keys * 2) * 32;
+  if (name == "tbb" || name == "locked") return keys * 64;
+  if (name == "rh") {
+    return (p2(keys * 2) + baselines::RobinHoodMap<>::kMaxProbe) * 24;
+  }
+  if (name == "mm") return p2(keys) * 8 + keys * 48;
+  return keys * 64;
+}
+
+/// The paper-profile guard for a comparison bench: the blocks run one at a
+/// time (each table is destroyed before the next is built), so the peak is
+/// the *largest enabled* design, not the sum.
+inline void guard_comparison_rss(const Args& args, const char* fig) {
+  std::uint64_t peak = 0;
+  for (const char* name : kMapNames) {
+    if (!args.map_enabled(name)) continue;
+    const std::uint64_t b = map_footprint_bytes(name, args.keys);
+    if (b > peak) peak = b;
+  }
+  require_memory_or_die(fig, peak);
+}
+
 }  // namespace dlht::bench

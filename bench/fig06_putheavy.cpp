@@ -3,7 +3,9 @@
 // Paper shape: DLHT peaks (1042 M/s on their box), up to 2.7x the
 // non-prefetching open-addressing designs; smaller edge over DRAMHiT
 // (which also prefetches but can only upsert); MICA capped by multiple
-// accesses; CLHT absent (no Puts).
+// accesses; CLHT absent (no Puts). Robin Hood upserts in place under its
+// stripe locks; Maged-Michael upserts with a single release store once the
+// node is found.
 #include "bench_maps.hpp"
 
 using namespace dlht;
@@ -13,11 +15,12 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   const std::uint64_t keys = args.keys;
   const double secs = args.seconds();
+  guard_comparison_rss(args, "fig06");
   print_header("fig06", "Put-heavy (50% Get / 50% Put) vs threads");
 
   double dlht_peak = 0, growt_peak = 0;
 
-  {
+  if (args.map_enabled("dlht")) {
     InlinedMap m(dlht_options(keys));
     workload::populate(m, keys);
     for (const int t : args.threads_list) {
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
                 "Mreq/s");
     }
   }
-  {
+  if (args.map_enabled("growt")) {
     baselines::GrowtLike<> m(keys * 8);
     workload::populate(m, keys);
     for (const int t : args.threads_list) {
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
       print_row("fig06", "GrowT", t, v, "Mreq/s");
     }
   }
-  {
+  if (args.map_enabled("folly")) {
     baselines::FollyLike<> m(keys * 4);
     workload::populate(m, keys);
     for (const int t : args.threads_list) {
@@ -47,7 +50,7 @@ int main(int argc, char** argv) {
                 "Mreq/s");
     }
   }
-  {
+  if (args.map_enabled("dramhit")) {
     baselines::DramhitLike<> m(keys * 4);
     workload::populate(m, keys);
     for (const int t : args.threads_list) {
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
                 "Mreq/s");
     }
   }
-  {
+  if (args.map_enabled("mica")) {
     baselines::MicaLike<> m(keys / 4 + 16);
     workload::populate(m, keys);
     for (const int t : args.threads_list) {
@@ -63,8 +66,26 @@ int main(int argc, char** argv) {
                 "Mreq/s");
     }
   }
+  if (args.map_enabled("rh")) {
+    baselines::RobinHoodMap<> m(keys * 2);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig06", "RobinHood", t,
+                putheavy_tput(m, keys, t, secs, kDefaultBatch), "Mreq/s");
+    }
+  }
+  if (args.map_enabled("mm")) {
+    baselines::MagedMichaelMap<> m(keys);
+    workload::populate(m, keys);
+    for (const int t : args.threads_list) {
+      print_row("fig06", "MagedMichael", t,
+                putheavy_tput(m, keys, t, secs, kDefaultBatch), "Mreq/s");
+    }
+  }
 
-  check_shape("DLHT Put-heavy beats non-prefetching open addressing",
-              dlht_peak > growt_peak);
+  if (args.map_enabled("dlht") && args.map_enabled("growt")) {
+    check_shape("DLHT Put-heavy beats non-prefetching open addressing",
+                dlht_peak > growt_peak);
+  }
   return 0;
 }

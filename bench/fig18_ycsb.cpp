@@ -12,6 +12,9 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   const std::uint64_t keys = args.keys;
   const double secs = args.seconds();
+  // Single DLHT table; the paper profile's 100M-key population is ~5 GB
+  // of table, so refuse up front on a small box rather than OOM mid-run.
+  require_memory_or_die("fig18", map_footprint_bytes("dlht", keys));
   print_header("fig18", "YCSB mixes vs threads");
 
   InlinedMap m(dlht_options(keys));

@@ -2,8 +2,9 @@
 // Smallbank (write-intensive) — vs threads.
 //
 // Paper shape: both scale with threads; TATP outperforms Smallbank (fewer
-// updates, fewer write-backs). Scaled population: paper uses 1M subscribers
-// / 10M accounts.
+// updates, fewer write-backs). Populations scale with --keys by default;
+// DLHT_BENCH_SCALE=paper pins them to the paper's own 1M subscribers /
+// 10M accounts regardless of --keys.
 #include "apps/smallbank.hpp"
 #include "apps/tatp.hpp"
 #include "bench_maps.hpp"
@@ -14,8 +15,18 @@ using namespace dlht::bench;
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   const double secs = args.seconds();
-  const std::uint64_t subscribers = std::max<std::uint64_t>(args.keys / 8, 1000);
-  const std::uint64_t accounts = std::max<std::uint64_t>(args.keys / 4, 1000);
+  const std::uint64_t subscribers =
+      paper_scale() ? kPaperSubscribers
+                    : std::max<std::uint64_t>(args.keys / 8, 1000);
+  const std::uint64_t accounts =
+      paper_scale() ? kPaperAccounts
+                    : std::max<std::uint64_t>(args.keys / 4, 1000);
+  // TATP keeps 4 rows per subscriber, Smallbank 2 per account; the bins
+  // below dominate the footprint. The blocks run sequentially, so guard on
+  // the larger of the two tables.
+  require_memory_or_die(
+      "fig19", std::max<std::uint64_t>(subscribers * 4 * 64 + subscribers * 64,
+                                       accounts * 2 * 64 + accounts * 64));
   print_header("fig19", "TATP + Smallbank transactions/s vs threads");
 
   double tatp_peak = 0, smallbank_peak = 0;

@@ -40,6 +40,12 @@ int main(int argc, char** argv) {
   std::puts(
       "# MICA      | closed     | lock-based    | yes                | "
       "none               | yes      | no");
+  std::puts(
+      "# RobinHood | open       | lock-based    | backward-shift     | "
+      "none               | yes      | yes");
+  std::puts(
+      "# MagedM.   | chained    | yes           | yes                | "
+      "none               | heads    | no");
 
   constexpr std::size_t kBins = 1 << 14;
 
@@ -92,6 +98,25 @@ int main(int argc, char** argv) {
     const double occ = static_cast<double>(k) / static_cast<double>(kBins);
     print_row("tab01", "GrowT/occupancy", 0, occ * 100.0, "%");
     check_shape("GrowT resizes at ~30% fill", occ > 0.25 && occ < 0.40);
+  }
+
+  // --- Robin Hood: no resize at all — it refuses (kFull) once an insert
+  // would push any probe distance past its bound. Occupancy at the first
+  // refusal is the analogue of occupancy-until-resize: displacement
+  // ordering keeps probe runs short, so a 512-slot bound on a 2^14 table
+  // carries it well past the tombstoning designs before the first kFull.
+  {
+    baselines::RobinHoodMap<> m(kBins);
+    const std::size_t total = kBins + baselines::RobinHoodMap<>::kMaxProbe;
+    std::uint64_t k = 0;
+    std::uint64_t live = 0;
+    while (m.full_rejects() == 0 && k < total) {
+      ++k;
+      if (m.insert(k, k)) ++live;
+    }
+    const double occ = static_cast<double>(live) / static_cast<double>(total);
+    print_row("tab01", "RobinHood/occupancy", 0, occ * 100.0, "%");
+    check_shape("RobinHood sustains > 50% before first kFull", occ > 0.50);
   }
   return 0;
 }

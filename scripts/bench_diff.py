@@ -88,10 +88,11 @@ def diff(baseline, current, threshold):
     return regressions
 
 
-def write_point(dirname, fig, ops, p99):
+def write_point(dirname, fig, ops, p99,
+                config="keys=65536 ms=100 threads=[1] scale=smoke"):
     with open(os.path.join(dirname, f"BENCH_{fig}.json"), "w",
               encoding="utf-8") as f:
-        json.dump({"fig": fig, "config": "keys=65536 ms=100 threads=[1]",
+        json.dump({"fig": fig, "config": config,
                    "ops_per_sec": ops, "p50_ns": None, "p99_ns": p99,
                    "rows": []}, f)
 
@@ -132,6 +133,18 @@ def self_test(threshold):
                        "ops_per_sec": 1.0, "p99_ns": None, "rows": []}, f)
         if diff(load_dir(base), load_dir(other), threshold) != 0:
             sys.exit("bench_diff self-test: config mismatch not skipped")
+
+        # A paper-scale run (scale=paper in its config tag) must never be
+        # diffed against a smoke row, even when it looks catastrophically
+        # slower per-op — populations differ by 4 orders of magnitude.
+        paper = os.path.join(tmp, "paper")
+        os.mkdir(paper)
+        write_point(paper, "micro_ops", 0.5e6, 90000.0,
+                    config="keys=100000000 ms=2000 threads=[1] scale=paper")
+        write_point(paper, "fig15", 4e6, 2000.0)
+        if diff(load_dir(base), load_dir(paper), threshold) != 0:
+            sys.exit("bench_diff self-test: paper-scale row diffed "
+                     "against a smoke row")
     print("bench_diff self-test: all gates behave")
 
 

@@ -12,7 +12,14 @@
 #
 # Smoke scales (VM-sized) are deliberately identical to the ctest smokes:
 # trajectory points are only comparable if the config is pinned. The
-# "config" field in each JSON records it regardless.
+# "config" field in each JSON records it regardless — including the
+# scale= tag, which is how bench_diff.py keeps paper-scale rows from ever
+# being compared against smoke rows.
+#
+# DLHT_BENCH_SCALE=paper scripts/bench_json.sh runs the big-box slice
+# instead: fig01/fig03/fig18/fig19 at the paper's populations (100M keys,
+# 1M subscribers / 10M accounts), no smoke-size flag overrides. Each
+# binary's RSS guard refuses (exit 2) up front if the box is too small.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +47,19 @@ run() {  # run <fig-label> <binary> [args...]
   grep -q '"ops_per_sec"' "$out/BENCH_$fig.json"
 }
 
+# Paper-scale slice: no smoke-size flags, so the profile's own populations
+# apply (flags would override them). The rows land with scale=paper in
+# their config tag and bench_diff.py keeps them in their own trajectory.
+if [ "${DLHT_BENCH_SCALE:-default}" = paper ]; then
+  run fig01 fig01_overview --map dlht,rh,mm
+  DLHT_BENCH_THREADS=8,16,32 run fig03 fig03_get_scaling
+  run fig18 fig18_ycsb
+  run fig19 fig19_oltp
+  echo "=== paper-scale bench trajectory written ==="
+  ls -l "$out"/BENCH_*.json
+  exit 0
+fi
+
 # Core op costs + the batching pipeline (the repo's headline mechanism).
 # --counters attaches perf counters to the shape-check rows; on hosts where
 # perf_event_open is forbidden the object is zeroed with unavailable:true,
@@ -47,6 +67,12 @@ run() {  # run <fig-label> <binary> [args...]
 run micro_ops micro_ops --keys 65536 --ms 100 --counters
 grep -Eq '"counters"' "$out/BENCH_micro_ops.json"
 grep -Eq '"unavailable": (true|false)' "$out/BENCH_micro_ops.json"
+# All-designs overview with the two strong from-scratch opponents enabled —
+# the trajectory tracks DLHT against real competition, not only itself.
+run fig01 fig01_overview --keys 16384 --ms 20 --map dlht,rh,mm
+grep -q 'RobinHood/get' "$out/BENCH_fig01.json"
+grep -q 'MagedMichael/get' "$out/BENCH_fig01.json"
+grep -q 'maps=dlht,rh,mm' "$out/BENCH_fig01.json"
 # Scalar/batched Get scaling across threads.
 DLHT_BENCH_THREADS=1,2 run fig03 fig03_get_scaling --keys 16384 --ms 20
 # Batch-size sweep: the software-pipelining win itself.

@@ -35,13 +35,52 @@ run_docs() {
   # only interpretable if the batching/sharding knobs are documented.
   # ...and the memory-awareness knobs: pinning/placement/counters change
   # what a trajectory number *means* on a NUMA box.
+  # ...and the bench-scale knobs: a trajectory row is only interpretable
+  # if its scale profile and competitor filter are documented.
   for knob in DLHT_PROBE nosimd DLHT_SERVER_BATCH DLHT_SERVER_THREADS \
-              DLHT_PIN DLHT_NUMA DLHT_SYSFS_ROOT DLHT_COUNTERS; do
+              DLHT_PIN DLHT_NUMA DLHT_SYSFS_ROOT DLHT_COUNTERS \
+              DLHT_BENCH_SCALE DLHT_BENCH_MAPS DLHT_MEM_AVAILABLE_MB; do
     if ! grep -q "$knob" docs/REPRODUCING.md; then
       echo "FAIL: probe knob '$knob' is not documented in docs/REPRODUCING.md" >&2
       exit 1
     fi
   done
+  # Every --map name the benches accept must be covered by the handbook's
+  # competitor matrix — an undocumented opponent is an unfair one.
+  for name in $(grep -oE '"[a-z]+"' bench/bench_common.hpp \
+                  | sed -n 's/"\([a-z]*\)"/\1/p' | sort -u); do
+    case "$name" in
+      dlht|clht|growt|folly|dramhit|mica|cuckoo|tbb|leapfrog|locked|rh|mm)
+        if ! grep -q "\`$name\`" docs/BENCHMARKING.md; then
+          echo "FAIL: --map name '$name' is not documented in docs/BENCHMARKING.md" >&2
+          exit 1
+        fi ;;
+    esac
+  done
+  for cls in RobinHoodMap MagedMichaelMap; do
+    if ! grep -q "$cls" docs/BENCHMARKING.md; then
+      echo "FAIL: baseline class '$cls' is not documented in docs/BENCHMARKING.md" >&2
+      exit 1
+    fi
+  done
+
+  echo "=== docs: relative links in docs/*.md and README.md resolve ==="
+  # A handbook that points at renamed files is worse than none: walk every
+  # relative markdown link (skip http(s) and #anchors) and require the
+  # target to exist, resolved against the linking file's directory.
+  broken=0
+  for f in README.md docs/*.md; do
+    dir=$(dirname "$f")
+    for link in $(grep -oE '\]\(([^)#]+)(#[^)]*)?\)' "$f" \
+                    | sed -E 's/^\]\(//; s/#[^)]*//; s/\)$//' \
+                    | grep -vE '^https?://' | sort -u); do
+      if [ ! -e "$dir/$link" ] && [ ! -e "$link" ]; then
+        echo "FAIL: $f links to '$link' which does not exist" >&2
+        broken=1
+      fi
+    done
+  done
+  if [ "$broken" -ne 0 ]; then exit 1; fi
   echo "docs coverage ok"
 }
 
@@ -98,8 +137,11 @@ run_main() {
   cmake --build build-asan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test rng_test apps_test probe_equivalence_test \
     recovery_test kill_recover_writer protocol_test dlht_server kv_client \
-    topology_test perf_counters_test
+    topology_test perf_counters_test baseline_equivalence_test
   ./build-asan/dlht_test
+  # The from-scratch opponents' hazards (backward-shift deletes,
+  # reclamation under readers) are exactly the bugs ASan exists for.
+  ./build-asan/baseline_equivalence_test
   ./build-asan/resize_churn_test
   ./build-asan/shrink_churn_test
   ./build-asan/epoch_test
@@ -138,8 +180,13 @@ run_tsan() {
   cmake --build build-tsan -j --target dlht_test resize_churn_test \
     shrink_churn_test epoch_test apps_test probe_equivalence_test \
     fig18_ycsb recovery_test kill_recover_writer protocol_test \
-    dlht_server kv_client topology_test
+    dlht_server kv_client topology_test baseline_equivalence_test
   ./build-tsan/dlht_test
+  # Maged-Michael under the race detector: marked-pointer unlinks + epoch
+  # retire while readers walk the same chains. Robin Hood is excluded by
+  # DLHT_TEST_MAPS: its readers are optimistic seqlock loops, which TSan
+  # rejects wholesale by design (ASan/UBSan cover it above).
+  DLHT_TEST_MAPS=mm ./build-tsan/baseline_equivalence_test
   ./build-tsan/resize_churn_test
   ./build-tsan/shrink_churn_test
   ./build-tsan/epoch_test
